@@ -1,0 +1,96 @@
+// Quickstart: POP on a toy allocation problem using only the public API.
+//
+// The problem: n analytics jobs must be packed onto m identical workers;
+// each job has a CPU demand, each worker a capacity, and we want to
+// maximize the total demand served (jobs are divisible). The exact solution
+// would be one big bin-packing LP; because the problem is granular — many
+// small jobs, interchangeable workers — POP solves k small instances
+// instead and concatenates the results.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pop"
+)
+
+type job struct {
+	id     int
+	demand float64
+}
+
+type worker struct {
+	id       int
+	capacity float64
+}
+
+// alloc maps job id → served demand.
+type alloc map[int]float64
+
+// solveSub is the "original formulation": a greedy fractional packing that
+// serves jobs largest-first. (Any solver works here — POP reuses whatever
+// you already have.)
+func solveSub(jobs []job, workers []worker, _ int) (alloc, error) {
+	free := 0.0
+	for _, w := range workers {
+		free += w.capacity
+	}
+	sorted := append([]job(nil), jobs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].demand > sorted[b].demand })
+	out := alloc{}
+	for _, j := range sorted {
+		take := j.demand
+		if take > free {
+			take = free
+		}
+		out[j.id] = take
+		free -= take
+	}
+	return out, nil
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	jobs := make([]job, 1000)
+	for i := range jobs {
+		jobs[i] = job{id: i, demand: 0.5 + rng.Float64()}
+	}
+	workers := make([]worker, 64)
+	for i := range workers {
+		workers[i] = worker{id: i, capacity: 10}
+	}
+
+	problem := pop.Problem[job, worker, alloc]{
+		Clients:    jobs,
+		Resources:  workers,
+		ClientLoad: func(j job) float64 { return j.demand },
+		SolveSub:   solveSub,
+		Coalesce: func(allocs []alloc, _ [][]int) (alloc, error) {
+			merged := alloc{}
+			for _, a := range allocs {
+				for id, v := range a {
+					merged[id] += v
+				}
+			}
+			return merged, nil
+		},
+	}
+
+	for _, k := range []int{1, 4, 16} {
+		result, err := pop.Solve(problem, pop.Options{K: k, Seed: 42, Parallel: true})
+		if err != nil {
+			panic(err)
+		}
+		total := 0.0
+		for _, v := range result {
+			total += v
+		}
+		fmt.Printf("POP-%-2d served %.1f CPU units across %d jobs\n", k, total, len(result))
+	}
+	fmt.Println("\nEach POP-k run partitions the jobs randomly into k groups and")
+	fmt.Println("the workers evenly; the sub-solutions concatenate into a feasible")
+	fmt.Println("global allocation. Served totals stay near-identical while each")
+	fmt.Println("sub-problem is k× smaller (and they run in parallel).")
+}

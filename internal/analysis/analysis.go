@@ -1,0 +1,92 @@
+// Package analysis implements the theoretical machinery of §5.1 and
+// Appendix A of the POP paper: the Chernoff tail bound on the number of
+// misplaced jobs under random partitioning, the union bound across resource
+// types and sub-problems, the resulting optimality-gap bound (Equation 2),
+// and a Monte Carlo simulator that validates the bound empirically.
+package analysis
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ChernoffTail is C(δ, n_s, k) from Appendix A (Equation 3): an upper bound
+// on the probability that the number of type-s jobs landing in one
+// sub-problem exceeds its expectation n_s/k by a factor (1+δ):
+//
+//	Pr[X ≥ (1+δ)·n_s/k] ≤ exp(−δ²·n_s / ((2+δ)·k))
+func ChernoffTail(delta, ns float64, k int) float64 {
+	if delta <= 0 || ns <= 0 || k <= 0 {
+		return 1
+	}
+	return math.Exp(-delta * delta * ns / ((2 + delta) * float64(k)))
+}
+
+// GapProbabilityBound is Equation 2: an upper bound on the probability that
+// the POP solution's utility falls more than δ·u_maxgap·n below optimal,
+// for n jobs split evenly over r resource types and k sub-problems:
+//
+//	Pr[U(Γ*) − U(Γ_POP) ≥ δ·u_maxgap·n] ≤ r·k·exp(−δ²·n / ((2+δ)·r·k))
+func GapProbabilityBound(delta float64, n, r, k int) float64 {
+	if r <= 0 || k <= 0 {
+		return 1
+	}
+	ns := float64(n) / float64(r)
+	b := float64(r*k) * ChernoffTail(delta, ns, k)
+	return math.Min(1, b)
+}
+
+// GapBound returns the absolute utility-gap threshold δ·u_maxgap·n that
+// GapProbabilityBound refers to.
+func GapBound(delta, umaxgap float64, n int) float64 {
+	return delta * umaxgap * float64(n)
+}
+
+// MisplacedResult summarizes a Monte Carlo experiment.
+type MisplacedResult struct {
+	Trials int
+	// ExceedFraction is the fraction of trials in which the total number of
+	// misplaced jobs Σ_{s,t} q_{s,t} reached δ·n.
+	ExceedFraction float64
+	// MeanMisplacedFrac is the mean of (Σ q_{s,t})/n across trials.
+	MeanMisplacedFrac float64
+}
+
+// SimulateMisplaced estimates the probability the bound controls: n jobs of
+// r types (n/r each) are assigned to k sub-problems uniformly at random;
+// q_{s,t} = max(0, X_{s,t} − n_s/k) counts jobs of type s in sub-problem t
+// beyond the per-sub-problem capacity of that type.
+func SimulateMisplaced(n, r, k, trials int, delta float64, seed int64) MisplacedResult {
+	rng := rand.New(rand.NewSource(seed))
+	ns := n / r
+	perCell := float64(ns) / float64(k)
+	exceed := 0
+	meanFrac := 0.0
+	counts := make([]int, k)
+	for trial := 0; trial < trials; trial++ {
+		totalMisplaced := 0.0
+		for s := 0; s < r; s++ {
+			for t := range counts {
+				counts[t] = 0
+			}
+			for j := 0; j < ns; j++ {
+				counts[rng.Intn(k)]++
+			}
+			for t := 0; t < k; t++ {
+				if over := float64(counts[t]) - perCell; over > 0 {
+					totalMisplaced += over
+				}
+			}
+		}
+		frac := totalMisplaced / float64(n)
+		meanFrac += frac
+		if frac >= delta {
+			exceed++
+		}
+	}
+	return MisplacedResult{
+		Trials:            trials,
+		ExceedFraction:    float64(exceed) / float64(trials),
+		MeanMisplacedFrac: meanFrac / float64(trials),
+	}
+}

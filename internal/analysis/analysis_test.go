@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestAppendixNumbers reproduces the worked examples in Appendix A: for
+// r=2, k=2, n=m=10⁵ split equally (n_s = 5·10⁴), the probability of
+// exceeding the expected count by 1%/2%/3%.
+func TestAppendixNumbers(t *testing.T) {
+	cases := []struct {
+		delta float64
+		want  float64
+	}{
+		{0.01, 0.2877},
+		{0.02, 0.00694},
+		{0.03, 0.0000145},
+	}
+	for _, c := range cases {
+		got := ChernoffTail(c.delta, 5e4, 2)
+		// The paper rounds aggressively; match within 7%.
+		if relErr(got, c.want) > 0.07 {
+			t.Fatalf("δ=%g: bound %g, paper %g", c.delta, got, c.want)
+		}
+	}
+}
+
+// TestSection51Example reproduces the §5.1 headline: 10⁶ jobs, k=10,
+// r=4 → Pr[>3%% misplaced] ≤ 0.000614.
+func TestSection51Example(t *testing.T) {
+	got := GapProbabilityBound(0.03, 1e6, 4, 10)
+	if relErr(got, 0.000614) > 0.01 {
+		t.Fatalf("bound %g, paper 0.000614", got)
+	}
+}
+
+func TestBoundMonotonicity(t *testing.T) {
+	// Larger n → smaller probability; larger k or r → larger probability.
+	// Parameters chosen so none of the bounds clamp at 1.
+	b := func(n, r, k int) float64 { return GapProbabilityBound(0.05, n, r, k) }
+	if !(b(1000000, 4, 8) < b(100000, 4, 8)) {
+		t.Fatal("bound should shrink with n")
+	}
+	if !(b(1000000, 4, 16) > b(1000000, 4, 8)) {
+		t.Fatal("bound should grow with k")
+	}
+	if !(b(1000000, 8, 8) > b(1000000, 4, 8)) {
+		t.Fatal("bound should grow with r")
+	}
+}
+
+func TestBoundInUnitInterval(t *testing.T) {
+	f := func(d uint8, nRaw uint16, rRaw, kRaw uint8) bool {
+		delta := float64(d%100)/100 + 0.001
+		n := int(nRaw) + 10
+		r := int(rRaw%8) + 1
+		k := int(kRaw%16) + 1
+		b := GapProbabilityBound(delta, n, r, k)
+		return b >= 0 && b <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapBound(t *testing.T) {
+	if got := GapBound(0.03, 2.5, 1000); got != 75 {
+		t.Fatalf("GapBound = %g, want 75", got)
+	}
+}
+
+// TestMonteCarloWithinBound verifies the Chernoff+union bound dominates the
+// empirical exceed probability.
+func TestMonteCarloWithinBound(t *testing.T) {
+	n, r, k := 20000, 4, 5
+	delta := 0.02
+	res := SimulateMisplaced(n, r, k, 300, delta, 7)
+	bound := GapProbabilityBound(delta, n, r, k)
+	if res.ExceedFraction > bound+0.05 {
+		t.Fatalf("empirical %g exceeds bound %g", res.ExceedFraction, bound)
+	}
+	// Sanity: some misplacement always occurs under random assignment.
+	if res.MeanMisplacedFrac <= 0 {
+		t.Fatal("no misplacement observed")
+	}
+}
+
+// TestMonteCarloSmallNLooseBound: with tiny n the bound is vacuous (�users
+// see probability 1) but the simulator still works.
+func TestMonteCarloSmallNLooseBound(t *testing.T) {
+	res := SimulateMisplaced(100, 2, 4, 100, 0.01, 3)
+	if res.ExceedFraction < 0.5 {
+		t.Fatalf("tiny n should frequently exceed 1%%: got %g", res.ExceedFraction)
+	}
+	if GapProbabilityBound(0.01, 100, 2, 4) < 0.99 {
+		t.Fatal("bound should be vacuous at tiny n")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if ChernoffTail(0, 100, 2) != 1 {
+		t.Fatal("δ=0 should give trivial bound")
+	}
+	if GapProbabilityBound(0.1, 100, 0, 2) != 1 {
+		t.Fatal("r=0 should give trivial bound")
+	}
+}

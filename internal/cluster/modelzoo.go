@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"math/rand"
+)
+
+// ModelTemplate describes a training-job archetype with its relative
+// throughputs across GPU generations, mirroring the measured workload
+// tables Gavel uses (exact numbers are not redistributable; the ratios
+// below preserve the published qualitative structure: convolutional vision
+// models gain 3–5× from K80→V100, transformers 6–10× thanks to tensor
+// cores, RL workloads much less because they are environment-bound, and
+// recommendation models sit in between).
+type ModelTemplate struct {
+	Name string
+	// Base is the K80 throughput in steps/sec.
+	Base float64
+	// P100Speedup and V100Speedup are multiples of Base.
+	P100Speedup, V100Speedup float64
+	// MemFrac is the typical GPU memory footprint fraction.
+	MemFrac float64
+	// ScaleChoices lists GPU counts this model is usually trained with.
+	ScaleChoices []float64
+}
+
+// ModelZoo returns the job archetypes used by GenerateJobsFromZoo.
+func ModelZoo() []ModelTemplate {
+	return []ModelTemplate{
+		{Name: "resnet50", Base: 1.0, P100Speedup: 2.4, V100Speedup: 4.5, MemFrac: 0.55, ScaleChoices: []float64{1, 2, 4}},
+		{Name: "resnet18", Base: 2.2, P100Speedup: 2.1, V100Speedup: 3.8, MemFrac: 0.30, ScaleChoices: []float64{1, 2}},
+		{Name: "transformer", Base: 0.6, P100Speedup: 3.0, V100Speedup: 8.5, MemFrac: 0.75, ScaleChoices: []float64{1, 4, 8}},
+		{Name: "lm-lstm", Base: 1.4, P100Speedup: 2.2, V100Speedup: 5.0, MemFrac: 0.60, ScaleChoices: []float64{1, 2}},
+		{Name: "recommendation", Base: 3.0, P100Speedup: 1.8, V100Speedup: 3.2, MemFrac: 0.45, ScaleChoices: []float64{1}},
+		{Name: "a3c-rl", Base: 4.0, P100Speedup: 1.3, V100Speedup: 1.6, MemFrac: 0.20, ScaleChoices: []float64{1}},
+		{Name: "cyclegan", Base: 0.8, P100Speedup: 2.6, V100Speedup: 5.5, MemFrac: 0.70, ScaleChoices: []float64{1}},
+	}
+}
+
+// GenerateJobsFromZoo synthesizes n jobs by sampling model archetypes with
+// per-job jitter, giving a workload with Gavel-like heterogeneity structure:
+// jobs disagree not just on speed but on *which* GPU they prefer and by how
+// much. When singleGPUOnly is set, every job uses one GPU (required by the
+// space-sharing experiments).
+func GenerateJobsFromZoo(n int, seed int64, singleGPUOnly bool) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	zoo := ModelZoo()
+	jobs := make([]Job, n)
+	for j := 0; j < n; j++ {
+		t := zoo[rng.Intn(len(zoo))]
+		jitter := func() float64 { return 0.85 + 0.3*rng.Float64() }
+		base := t.Base * jitter()
+		scale := t.ScaleChoices[rng.Intn(len(t.ScaleChoices))]
+		if singleGPUOnly {
+			scale = 1
+		}
+		jobs[j] = Job{
+			ID:         j,
+			Throughput: []float64{base, base * t.P100Speedup * jitter(), base * t.V100Speedup * jitter()},
+			Weight:     1,
+			Scale:      scale,
+			NumSteps:   (0.5 + rng.Float64()) * 60000,
+			MemFrac:    clamp01(t.MemFrac * jitter()),
+			Priority:   1,
+		}
+	}
+	return jobs
+}
+
+func clamp01(x float64) float64 {
+	if x < 0.05 {
+		return 0.05
+	}
+	if x > 0.95 {
+		return 0.95
+	}
+	return x
+}

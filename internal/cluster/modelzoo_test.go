@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+
+	"pop/internal/core"
+	"pop/internal/lp"
+)
+
+func TestModelZooStructure(t *testing.T) {
+	for _, m := range ModelZoo() {
+		if m.Base <= 0 || m.P100Speedup <= 1 || m.V100Speedup <= m.P100Speedup {
+			t.Fatalf("%s: implausible speedups %+v", m.Name, m)
+		}
+		if m.MemFrac <= 0 || m.MemFrac >= 1 {
+			t.Fatalf("%s: memfrac %g", m.Name, m.MemFrac)
+		}
+		if len(m.ScaleChoices) == 0 {
+			t.Fatalf("%s: no scale choices", m.Name)
+		}
+	}
+}
+
+func TestGenerateJobsFromZoo(t *testing.T) {
+	jobs := GenerateJobsFromZoo(60, 3, false)
+	if len(jobs) != 60 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	sawMulti := false
+	for _, j := range jobs {
+		if j.Throughput[2] <= j.Throughput[1] || j.Throughput[1] <= 0 {
+			t.Fatalf("job %d: nonmonotone throughputs %v", j.ID, j.Throughput)
+		}
+		if j.Scale > 1 {
+			sawMulti = true
+		}
+	}
+	if !sawMulti {
+		t.Fatal("zoo never produced a multi-GPU job")
+	}
+	for _, j := range GenerateJobsFromZoo(40, 5, true) {
+		if j.Scale != 1 {
+			t.Fatalf("singleGPUOnly violated: scale %g", j.Scale)
+		}
+	}
+}
+
+func TestZooHeterogeneityMatters(t *testing.T) {
+	// Heterogeneity-aware max-min should place RL-like jobs (tiny V100
+	// gain) on slower GPUs and transformers on V100s. Check aggregate: the
+	// allocation's mean normalized throughput must beat a homogeneous
+	// random assignment proxy — here, simply assert the exact LP finds a
+	// feasible allocation with min ratio > 0 and that jobs with the largest
+	// V100 speedup get at least as much V100 share as those with the least.
+	jobs := GenerateJobsFromZoo(30, 11, true)
+	c := NewCluster(10, 10, 10)
+	a, err := MaxMinFairness(jobs, c, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(jobs, c, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Identify extreme jobs by V100/K80 ratio.
+	hi, lo := 0, 0
+	for idx, j := range jobs {
+		r := j.Throughput[2] / j.Throughput[0]
+		if r > jobs[hi].Throughput[2]/jobs[hi].Throughput[0] {
+			hi = idx
+		}
+		if r < jobs[lo].Throughput[2]/jobs[lo].Throughput[0] {
+			lo = idx
+		}
+	}
+	v100Share := func(idx int) float64 {
+		total := 0.0
+		for _, v := range a.X[idx] {
+			total += v
+		}
+		if total == 0 {
+			return 0
+		}
+		return a.X[idx][2] / total
+	}
+	if v100Share(hi) < v100Share(lo)-1e-6 {
+		t.Fatalf("V100-hungry job got share %g, V100-indifferent job %g",
+			v100Share(hi), v100Share(lo))
+	}
+}
+
+func TestZooUnderPOPSpaceSharing(t *testing.T) {
+	jobs := GenerateJobsFromZoo(24, 17, true)
+	c := NewCluster(6, 6, 6)
+	a, err := SolvePOPSpaceSharing(jobs, c, core.Options{K: 2, Seed: 1, Parallel: true}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(jobs, c, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"pop/internal/core"
+	"pop/internal/lp"
+	"pop/internal/propfair"
+)
+
+// PolicyFunc solves a scheduling policy on one (sub-)instance.
+type PolicyFunc func(jobs []Job, c Cluster, opts lp.Options) (*Allocation, error)
+
+// SolvePOP applies POP to any solo-allocation policy: jobs are partitioned
+// randomly into k groups (weighted by Scale so GPU demand balances),
+// the cluster is split into k equal sub-clusters with 1/k of every GPU
+// type, each sub-problem is solved with the unchanged policy formulation,
+// and allocations are concatenated. The coalesced allocation is feasible by
+// construction since sub-cluster capacities sum to the original.
+func SolvePOP(jobs []Job, c Cluster, policy PolicyFunc, opts core.Options, lpOpts lp.Options) (*Allocation, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	k := opts.K
+	groups := core.Partition(len(jobs), k, opts.Strategy, opts.Seed,
+		func(i int) float64 { return jobs[i].Scale })
+	k = len(groups) // Partition clamps k when there are fewer jobs than sub-problems
+	subCluster := c.Split(k)
+	subJobs := core.Gather(jobs, groups)
+
+	subAllocs := make([]*Allocation, k)
+	err := core.ParallelMap(k, opts.Parallel, func(p int) error {
+		a, err := policy(subJobs[p], subCluster, lpOpts)
+		subAllocs[p] = a
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeAllocations(jobs, groups, subAllocs), nil
+}
+
+// SolvePOPSpaceSharing applies POP to the pair-variable space-sharing
+// policy. Pairs only form within a sub-problem, which is where the paper's
+// §5.3 cubic speedup comes from: sub-problems have (n/k)² pair variables
+// instead of n².
+func SolvePOPSpaceSharing(jobs []Job, c Cluster, opts core.Options, lpOpts lp.Options) (*Allocation, error) {
+	return SolvePOP(jobs, c, func(js []Job, sc Cluster, lo lp.Options) (*Allocation, error) {
+		return MaxMinFairnessSpaceSharing(js, sc, lo)
+	}, opts, lpOpts)
+}
+
+// SolvePOPPropFairness applies POP to the proportional-fairness policy with
+// the price-discovery solver in each sub-problem.
+func SolvePOPPropFairness(jobs []Job, c Cluster, opts core.Options, pd propfair.PDOptions) (*Allocation, error) {
+	return SolvePOP(jobs, c, func(js []Job, sc Cluster, _ lp.Options) (*Allocation, error) {
+		return ProportionalFairness(js, sc, pd)
+	}, opts, lp.Options{})
+}
+
+// mergeAllocations coalesces per-partition allocations onto the original
+// job order (POP's reduce step). Solo and pair allocations are both
+// supported; partitions must agree on the representation.
+func mergeAllocations(jobs []Job, groups [][]int, subs []*Allocation) *Allocation {
+	out := &Allocation{EffThr: make([]float64, len(jobs))}
+	solo := subs[0] != nil && subs[0].X != nil
+	if solo {
+		out.X = make([][]float64, len(jobs))
+	}
+	for p, g := range groups {
+		sa := subs[p]
+		out.LPVariables += sa.LPVariables
+		for t, j := range g {
+			out.EffThr[j] = sa.EffThr[t]
+			if solo {
+				out.X[j] = sa.X[t]
+			}
+		}
+		if !solo {
+			out.Pairs = append(out.Pairs, sa.Pairs...)
+			out.PairX = append(out.PairX, sa.PairX...)
+		}
+	}
+	return out
+}

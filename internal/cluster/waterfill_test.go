@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+
+	"pop/internal/core"
+	"pop/internal/lp"
+)
+
+func TestWaterfillDominatesSingleLevel(t *testing.T) {
+	jobs := GenerateJobs(16, 3, 0)
+	c := NewCluster(4, 4, 4)
+	single, err := MaxMinFairness(jobs, c, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := MaxMinFairnessWaterfill(jobs, c, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(jobs, c, wf, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	minS, meanS := MinMean(NormalizedRatios(jobs, c, single))
+	minW, meanW := MinMean(NormalizedRatios(jobs, c, wf))
+	// Same worst-off job value (both are max-min optimal at level 1)...
+	if minW < minS-1e-5 {
+		t.Fatalf("waterfill min %g below single-level %g", minW, minS)
+	}
+	// ...but the lexicographic refinement cannot do worse on the mean.
+	if meanW < meanS-1e-5 {
+		t.Fatalf("waterfill mean %g below single-level %g", meanW, meanS)
+	}
+}
+
+func TestWaterfillImprovesSlackJobs(t *testing.T) {
+	// Construct a case where the single-level LP may leave capacity on the
+	// table: two "fast" jobs and one job that can only use one GPU type.
+	base := GenerateJobs(3, 9, 0)
+	jobs := []Job{base[0], base[1], base[2]}
+	jobs[2].Throughput = []float64{0.5, 0, 0} // K80 only
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	c := NewCluster(2, 2, 2)
+	wf, err := MaxMinFairnessWaterfill(jobs, c, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(jobs, c, wf, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// The slack jobs (0, 1) must do at least as well as the constrained one.
+	ratios := NormalizedRatios(jobs, c, wf)
+	if ratios[0] < ratios[2]-1e-6 || ratios[1] < ratios[2]-1e-6 {
+		t.Fatalf("waterfill left slack jobs below the bottleneck: %v", ratios)
+	}
+}
+
+func TestWaterfillUnderPOP(t *testing.T) {
+	jobs := GenerateJobs(24, 13, 0)
+	c := NewCluster(8, 8, 8)
+	a, err := SolvePOP(jobs, c, MaxMinFairnessWaterfill, core.Options{K: 2, Seed: 1, Parallel: true}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(jobs, c, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	min, _ := MinMean(NormalizedRatios(jobs, c, a))
+	if min <= 0 {
+		t.Fatalf("POP waterfill starved a job: min %g", min)
+	}
+}
+
+func TestWaterfillEmpty(t *testing.T) {
+	c := NewCluster(1, 1, 1)
+	a, err := MaxMinFairnessWaterfill(nil, c, lp.Options{})
+	if err != nil || len(a.EffThr) != 0 {
+		t.Fatalf("err=%v len=%d", err, len(a.EffThr))
+	}
+}

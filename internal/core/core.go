@@ -1,0 +1,286 @@
+// Package core implements the POP (Partitioned Optimization Problems)
+// machinery from the paper: partitioning clients and resources into k
+// sub-problems, granularization transforms (client splitting, Algorithm 2,
+// and resource splitting), the parallel map step, and coalescing helpers.
+//
+// The domain case studies (packages te, cluster, lb) build their POP
+// variants out of these primitives; the root package pop re-exports the
+// public surface.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Strategy selects how clients are assigned to sub-problems.
+type Strategy int8
+
+const (
+	// Random shuffles clients and deals them round-robin, giving each
+	// sub-problem an equal-sized random subset. This is POP's default and
+	// the subject of the paper's §5.1 analysis.
+	Random Strategy = iota
+	// PowerOfTwo assigns each client to the better of two randomly chosen
+	// sub-problems, picking the one whose current load profile is most
+	// similar to the global distribution (lower total load). Evaluated in
+	// Figure 16 of the paper.
+	PowerOfTwo
+	// Skewed sorts clients by load and assigns contiguous chunks,
+	// deliberately concentrating similar clients — the paper's example of a
+	// bad partition (Figure 16).
+	Skewed
+	// RoundRobin deals clients in index order without shuffling;
+	// deterministic, mainly for tests.
+	RoundRobin
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case PowerOfTwo:
+		return "power-of-2"
+	case Skewed:
+		return "skewed"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Partition assigns n clients to k sub-problems and returns the index sets,
+// one per sub-problem. load is consulted by the PowerOfTwo and Skewed
+// strategies and may be nil for Random/RoundRobin. The result is
+// deterministic in (n, k, strategy, seed).
+func Partition(n, k int, strategy Strategy, seed int64, load func(i int) float64) [][]int {
+	if k <= 0 {
+		panic("core: k must be positive")
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+	groups := make([][]int, k)
+	rng := rand.New(rand.NewSource(seed))
+	switch strategy {
+	case Random:
+		order := rng.Perm(n)
+		for pos, i := range order {
+			p := pos % k
+			groups[p] = append(groups[p], i)
+		}
+	case RoundRobin:
+		for i := 0; i < n; i++ {
+			groups[i%k] = append(groups[i%k], i)
+		}
+	case PowerOfTwo:
+		if load == nil {
+			load = func(int) float64 { return 1 }
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		order := rng.Perm(n)
+		target := n / k
+		for _, i := range order {
+			a := rng.Intn(k)
+			b := rng.Intn(k)
+			// Prefer the sub-problem with lower load; break ties toward the
+			// one with fewer clients, keeping sizes near-equal.
+			pick := a
+			if counts[a] > target && counts[b] <= target {
+				pick = b
+			} else if counts[b] > target && counts[a] <= target {
+				pick = a
+			} else if sums[b] < sums[a] || (sums[b] == sums[a] && counts[b] < counts[a]) {
+				pick = b
+			}
+			groups[pick] = append(groups[pick], i)
+			sums[pick] += load(i)
+			counts[pick]++
+		}
+	case Skewed:
+		if load == nil {
+			load = func(int) float64 { return 1 }
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		// Sort by load descending; stability keeps equal-load clients in
+		// index order for determinism.
+		sort.SliceStable(order, func(a, b int) bool { return load(order[a]) > load(order[b]) })
+		per := (n + k - 1) / k
+		for pos, i := range order {
+			p := pos / per
+			if p >= k {
+				p = k - 1
+			}
+			groups[p] = append(groups[p], i)
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %v", strategy))
+	}
+	return groups
+}
+
+// Gather materializes the client subsets selected by groups.
+func Gather[T any](items []T, groups [][]int) [][]T {
+	out := make([][]T, len(groups))
+	for p, g := range groups {
+		sub := make([]T, len(g))
+		for t, i := range g {
+			sub[t] = items[i]
+		}
+		out[p] = sub
+	}
+	return out
+}
+
+// EvenSplit partitions m indistinguishable resource units across k
+// sub-problems as evenly as possible (the first m%k sub-problems get one
+// extra unit).
+func EvenSplit(m, k int) []int {
+	out := make([]int, k)
+	for p := range out {
+		out[p] = m / k
+		if p < m%k {
+			out[p]++
+		}
+	}
+	return out
+}
+
+// SplitResource implements the paper's resource splitting: every sub-problem
+// receives a copy of each resource scaled to 1/k of its capacity, so the
+// coalesced allocation remains feasible by construction. scale must return a
+// copy of r with capacity divided by k.
+func SplitResource[R any](resources []R, k int, scale func(r R, k int) R) [][]R {
+	out := make([][]R, k)
+	for p := 0; p < k; p++ {
+		sub := make([]R, len(resources))
+		for i, r := range resources {
+			sub[i] = scale(r, k)
+		}
+		out[p] = sub
+	}
+	return out
+}
+
+// ParallelMap runs f(part) for part in [0,k), concurrently when parallel is
+// true, and returns the first error encountered.
+func ParallelMap(k int, parallel bool, f func(part int) error) error {
+	if !parallel || k == 1 {
+		for p := 0; p < k; p++ {
+			if err := f(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = f(p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VirtualClient tags a (possibly split) client with the index of the real
+// client it derives from, so coalescing can sum virtual allocations back.
+type VirtualClient[C any] struct {
+	Orig   int
+	Client C
+}
+
+// SplitClients is Algorithm 2 of the paper: repeatedly halve the largest
+// client by its splitting attribute until (1+t)·n virtual clients exist.
+// load reads the splitting attribute; split must return two copies of c with
+// the attribute halved. The total of the splitting attribute is preserved,
+// so any feasible allocation to the virtual clients coalesces to a feasible
+// allocation for the originals.
+func SplitClients[C any](clients []C, t float64, load func(C) float64, split func(C) (C, C)) []VirtualClient[C] {
+	n := len(clients)
+	h := &maxHeap[C]{load: load}
+	for i, c := range clients {
+		h.items = append(h.items, VirtualClient[C]{Orig: i, Client: c})
+	}
+	heap.Init(h)
+	limit := int(float64(n) * (1 + t))
+	for h.Len() < limit {
+		top := heap.Pop(h).(VirtualClient[C])
+		a, b := split(top.Client)
+		heap.Push(h, VirtualClient[C]{Orig: top.Orig, Client: a})
+		heap.Push(h, VirtualClient[C]{Orig: top.Orig, Client: b})
+	}
+	return h.items
+}
+
+type maxHeap[C any] struct {
+	items []VirtualClient[C]
+	load  func(C) float64
+}
+
+func (h *maxHeap[C]) Len() int { return len(h.items) }
+func (h *maxHeap[C]) Less(i, j int) bool {
+	return h.load(h.items[i].Client) > h.load(h.items[j].Client)
+}
+func (h *maxHeap[C]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *maxHeap[C]) Push(x interface{}) {
+	h.items = append(h.items, x.(VirtualClient[C]))
+}
+func (h *maxHeap[C]) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// CoalesceByOrig sums per-virtual-client scalar allocations back onto the n
+// real clients.
+func CoalesceByOrig[C any](virtual []VirtualClient[C], alloc []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i, vc := range virtual {
+		out[vc.Orig] += alloc[i]
+	}
+	return out
+}
+
+// Options bundles the standard POP knobs shared by the domain adapters.
+type Options struct {
+	// K is the number of sub-problems (POP-k in the paper's figures).
+	K int
+	// Strategy is the client partitioning strategy; Random is the default.
+	Strategy Strategy
+	// Seed makes the random partition reproducible.
+	Seed int64
+	// Parallel solves sub-problems concurrently (the paper's map step).
+	Parallel bool
+	// SplitT is the client-splitting threshold t from Algorithm 2: the ratio
+	// of extra virtual clients allowed. 0 disables client splitting.
+	SplitT float64
+}
+
+// Validate checks the option invariants shared by all adapters.
+func (o Options) Validate() error {
+	if o.K <= 0 {
+		return fmt.Errorf("pop: K must be ≥ 1, got %d", o.K)
+	}
+	if o.SplitT < 0 {
+		return fmt.Errorf("pop: SplitT must be ≥ 0, got %g", o.SplitT)
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversAllClients(t *testing.T) {
+	for _, strat := range []Strategy{Random, PowerOfTwo, Skewed, RoundRobin} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			n, k := 103, 7
+			load := func(i int) float64 { return float64(i % 13) }
+			groups := Partition(n, k, strat, 5, load)
+			if len(groups) != k {
+				t.Fatalf("got %d groups", len(groups))
+			}
+			seen := make([]bool, n)
+			for _, g := range groups {
+				for _, i := range g {
+					if seen[i] {
+						t.Fatalf("client %d assigned twice", i)
+					}
+					seen[i] = true
+				}
+			}
+			for i, s := range seen {
+				if !s {
+					t.Fatalf("client %d unassigned", i)
+				}
+			}
+		})
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	groups := Partition(100, 8, Random, 1, nil)
+	for _, g := range groups {
+		if len(g) < 12 || len(g) > 13 {
+			t.Fatalf("unbalanced group size %d", len(g))
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	a := Partition(50, 4, Random, 99, nil)
+	b := Partition(50, 4, Random, 99, nil)
+	for p := range a {
+		if len(a[p]) != len(b[p]) {
+			t.Fatal("nondeterministic partition")
+		}
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatal("nondeterministic partition")
+			}
+		}
+	}
+}
+
+func TestPartitionKLargerThanN(t *testing.T) {
+	groups := Partition(3, 10, Random, 1, nil)
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 3 {
+		t.Fatalf("assigned %d clients, want 3", total)
+	}
+}
+
+func TestSkewedConcentratesLoad(t *testing.T) {
+	n, k := 64, 4
+	load := func(i int) float64 { return float64(i) }
+	groups := Partition(n, k, Skewed, 1, load)
+	sums := make([]float64, k)
+	for p, g := range groups {
+		for _, i := range g {
+			sums[p] += load(i)
+		}
+	}
+	// First chunk holds the largest loads under Skewed.
+	if sums[0] <= sums[k-1] {
+		t.Fatalf("skewed did not concentrate: %v", sums)
+	}
+}
+
+func TestPowerOfTwoBalancesLoad(t *testing.T) {
+	n, k := 400, 4
+	rng := rand.New(rand.NewSource(2))
+	loads := make([]float64, n)
+	for i := range loads {
+		loads[i] = rng.Float64() * 10
+	}
+	load := func(i int) float64 { return loads[i] }
+
+	sumsFor := func(strat Strategy) []float64 {
+		groups := Partition(n, k, strat, 7, load)
+		sums := make([]float64, k)
+		for p, g := range groups {
+			for _, i := range g {
+				sums[p] += load(i)
+			}
+		}
+		return sums
+	}
+	spread := func(s []float64) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range s {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi - lo
+	}
+	if p2 := spread(sumsFor(PowerOfTwo)); p2 > spread(sumsFor(Skewed)) {
+		t.Fatalf("power-of-two spread %g worse than skewed", p2)
+	}
+}
+
+func TestGather(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	groups := [][]int{{3, 0}, {1, 2}}
+	got := Gather(items, groups)
+	if got[0][0] != "d" || got[0][1] != "a" || got[1][0] != "b" {
+		t.Fatalf("gather wrong: %v", got)
+	}
+}
+
+func TestEvenSplit(t *testing.T) {
+	got := EvenSplit(10, 4)
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EvenSplit = %v, want %v", got, want)
+		}
+	}
+	total := 0
+	for _, v := range got {
+		total += v
+	}
+	if total != 10 {
+		t.Fatal("split loses units")
+	}
+}
+
+func TestEvenSplitProperty(t *testing.T) {
+	f := func(m uint8, k uint8) bool {
+		if k == 0 {
+			return true
+		}
+		parts := EvenSplit(int(m), int(k))
+		sum := 0
+		min, max := int(m)+1, -1
+		for _, p := range parts {
+			sum += p
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		return sum == int(m) && max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitResource(t *testing.T) {
+	type link struct{ cap float64 }
+	res := []link{{10}, {20}}
+	parts := SplitResource(res, 4, func(r link, k int) link { return link{r.cap / float64(k)} })
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0.0
+	for _, p := range parts {
+		total += p[0].cap + p[1].cap
+	}
+	if !approxEq(total, 30, 1e-12) {
+		t.Fatalf("capacity not conserved: %g", total)
+	}
+}
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestParallelMapRunsAll(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		var count int64
+		err := ParallelMap(8, parallel, func(p int) error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		})
+		if err != nil || count != 8 {
+			t.Fatalf("parallel=%v: err=%v count=%d", parallel, err, count)
+		}
+	}
+}
+
+func TestParallelMapPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ParallelMap(4, true, func(p int) error {
+		if p == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type fakeClient struct{ loadv float64 }
+
+func TestSplitClientsAlgorithm2(t *testing.T) {
+	clients := []fakeClient{{8}, {1}, {1}, {1}}
+	virtual := SplitClients(clients, 0.75, // allow up to 7 virtual clients
+		func(c fakeClient) float64 { return c.loadv },
+		func(c fakeClient) (fakeClient, fakeClient) {
+			h := c.loadv / 2
+			return fakeClient{h}, fakeClient{h}
+		})
+	if len(virtual) != 7 {
+		t.Fatalf("got %d virtual clients, want 7", len(virtual))
+	}
+	// Total load preserved.
+	total := 0.0
+	perOrig := map[int]float64{}
+	for _, vc := range virtual {
+		total += vc.Client.loadv
+		perOrig[vc.Orig] += vc.Client.loadv
+	}
+	if !approxEq(total, 11, 1e-12) {
+		t.Fatalf("total load = %g, want 11", total)
+	}
+	if !approxEq(perOrig[0], 8, 1e-12) {
+		t.Fatalf("client 0 load = %g, want 8", perOrig[0])
+	}
+	// The heavy client must have been split the most.
+	count0 := 0
+	for _, vc := range virtual {
+		if vc.Orig == 0 {
+			count0++
+		}
+	}
+	if count0 < 3 {
+		t.Fatalf("heavy client split only %d times", count0)
+	}
+}
+
+func TestSplitClientsZeroT(t *testing.T) {
+	clients := []fakeClient{{5}, {3}}
+	virtual := SplitClients(clients, 0,
+		func(c fakeClient) float64 { return c.loadv },
+		func(c fakeClient) (fakeClient, fakeClient) {
+			return fakeClient{c.loadv / 2}, fakeClient{c.loadv / 2}
+		})
+	if len(virtual) != 2 {
+		t.Fatalf("t=0 should not split, got %d", len(virtual))
+	}
+}
+
+func TestSplitClientsLoadConservedProperty(t *testing.T) {
+	f := func(seed int64, tRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		clients := make([]fakeClient, n)
+		want := 0.0
+		for i := range clients {
+			clients[i] = fakeClient{rng.Float64() * 100}
+			want += clients[i].loadv
+		}
+		tv := float64(tRaw%150) / 100
+		virtual := SplitClients(clients, tv,
+			func(c fakeClient) float64 { return c.loadv },
+			func(c fakeClient) (fakeClient, fakeClient) {
+				return fakeClient{c.loadv / 2}, fakeClient{c.loadv / 2}
+			})
+		got := 0.0
+		for _, vc := range virtual {
+			got += vc.Client.loadv
+		}
+		return approxEq(got, want, 1e-9) && len(virtual) >= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceByOrig(t *testing.T) {
+	virtual := []VirtualClient[fakeClient]{
+		{Orig: 0, Client: fakeClient{}},
+		{Orig: 1, Client: fakeClient{}},
+		{Orig: 0, Client: fakeClient{}},
+	}
+	got := CoalesceByOrig(virtual, []float64{1, 5, 2}, 2)
+	if got[0] != 3 || got[1] != 5 {
+		t.Fatalf("coalesce = %v", got)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{K: 0}).Validate(); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+	if err := (Options{K: 2, SplitT: -1}).Validate(); err == nil {
+		t.Fatal("negative SplitT should fail")
+	}
+	if err := (Options{K: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package gavelsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pop/internal/cluster"
+)
+
+func TestPolicyErrorPropagates(t *testing.T) {
+	sentinel := errors.New("policy exploded")
+	cfg := Config{
+		Cluster:            cluster.NewCluster(2, 2, 2),
+		NumJobs:            4,
+		ArrivalRatePerHour: 100,
+		Seed:               1,
+	}
+	_, err := Run(cfg, func([]cluster.Job, cluster.Cluster) (*cluster.Allocation, error) {
+		return nil, sentinel
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "policy failed") {
+		t.Fatalf("error lacks context: %v", err)
+	}
+}
+
+func TestSimTimeLimitTruncates(t *testing.T) {
+	// A starving policy (zero allocation) cannot finish any job; the
+	// simulation must stop at MaxSimHours rather than hang.
+	cfg := Config{
+		Cluster:      cluster.NewCluster(2, 2, 2),
+		NumJobs:      3,
+		AllAtOnce:    true,
+		RoundSeconds: 3600,
+		MaxSimHours:  2,
+		Seed:         5,
+	}
+	res, err := Run(cfg, func(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+		a := &cluster.Allocation{
+			X:      make([][]float64, len(jobs)),
+			EffThr: make([]float64, len(jobs)),
+		}
+		for i := range jobs {
+			a.X[i] = make([]float64, c.NumTypes())
+		}
+		return a, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("starved jobs completed: %d", res.Completed)
+	}
+	if res.Rounds == 0 || res.Rounds > 3 {
+		t.Fatalf("rounds = %d, want 1..2", res.Rounds)
+	}
+}

@@ -1,0 +1,115 @@
+package gavelsim
+
+import (
+	"testing"
+
+	"pop/internal/cluster"
+	"pop/internal/core"
+	"pop/internal/lp"
+)
+
+func exactPolicy(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+	return cluster.MaxMinFairness(jobs, c, lp.Options{})
+}
+
+func popPolicy(k int) Policy {
+	return func(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+		return cluster.SolvePOP(jobs, c, cluster.MaxMinFairness,
+			core.Options{K: k, Seed: 11, Parallel: true}, lp.Options{})
+	}
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	cfg := Config{
+		Cluster:            cluster.NewCluster(8, 8, 8),
+		NumJobs:            12,
+		ArrivalRatePerHour: 6,
+		RoundSeconds:       360,
+		Seed:               1,
+	}
+	res, err := Run(cfg, exactPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != cfg.NumJobs {
+		t.Fatalf("completed %d of %d jobs", res.Completed, cfg.NumJobs)
+	}
+	if res.AvgJCTHours <= 0 {
+		t.Fatalf("avg JCT = %g", res.AvgJCTHours)
+	}
+	if res.MakespanHours < res.AvgJCTHours {
+		t.Fatalf("makespan %g < avg JCT %g", res.MakespanHours, res.AvgJCTHours)
+	}
+	if res.PolicyCalls == 0 || res.PolicyTime <= 0 {
+		t.Fatal("policy accounting missing")
+	}
+}
+
+func TestAllAtOnceMakespan(t *testing.T) {
+	cfg := Config{
+		Cluster:      cluster.NewCluster(6, 6, 6),
+		NumJobs:      10,
+		AllAtOnce:    true,
+		RoundSeconds: 360,
+		Seed:         3,
+	}
+	res, err := Run(cfg, exactPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != cfg.NumJobs {
+		t.Fatalf("completed %d of %d", res.Completed, cfg.NumJobs)
+	}
+}
+
+func TestPOPPolicyEndToEndClose(t *testing.T) {
+	// The paper's end-to-end claim: POP-ped policies leave JCT nearly
+	// unchanged. At this scale allow 25%.
+	cfg := Config{
+		Cluster:            cluster.NewCluster(10, 10, 10),
+		NumJobs:            20,
+		ArrivalRatePerHour: 8,
+		RoundSeconds:       360,
+		Seed:               7,
+	}
+	exact, err := Run(cfg, exactPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := Run(cfg, popPolicy(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Completed != exact.Completed {
+		t.Fatalf("completion mismatch: %d vs %d", pop.Completed, exact.Completed)
+	}
+	if pop.AvgJCTHours > exact.AvgJCTHours*1.25 {
+		t.Fatalf("POP JCT %g vs exact %g", pop.AvgJCTHours, exact.AvgJCTHours)
+	}
+}
+
+func TestDeterministicTrace(t *testing.T) {
+	cfg := Config{
+		Cluster:            cluster.NewCluster(4, 4, 4),
+		NumJobs:            8,
+		ArrivalRatePerHour: 10,
+		Seed:               5,
+	}
+	a, err := Run(cfg, exactPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, exactPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgJCTHours != b.AvgJCTHours || a.Rounds != b.Rounds {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}, exactPolicy); err == nil {
+		t.Fatal("expected error for zero jobs")
+	}
+}

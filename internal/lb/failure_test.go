@@ -1,0 +1,80 @@
+package lb
+
+import (
+	"testing"
+
+	"pop/internal/core"
+	"pop/internal/milp"
+)
+
+func TestInfeasibleBandFallsBackToGreedy(t *testing.T) {
+	// A hot shard alone does not break the band — fractional query routing
+	// can always split it. Pinning the hot shard to its home server by
+	// memory (it fits nowhere else) makes the ±1% band genuinely
+	// unattainable, and SolveMILP must degrade to the greedy best effort
+	// rather than fail.
+	inst := NewInstance(6, 3, 0.01, 1)
+	inst.Shards[0].Load = 1000
+	inst.Shards[0].Mem = 10
+	home := 0
+	for j, on := range inst.Placement[0] {
+		if on {
+			home = j
+		}
+	}
+	for j := range inst.Servers {
+		if j == home {
+			inst.Servers[j].MemCap = 20
+		} else {
+			inst.Servers[j].MemCap = 8 // shard 0 cannot move or replicate here
+		}
+	}
+	a, err := SolveMILP(inst, milp.Options{MaxNodes: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Optimal {
+		t.Fatal("an unattainable band cannot yield a proven optimum")
+	}
+	if err := VerifyFeasible(inst, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTightMemoryRespected(t *testing.T) {
+	inst := NewInstance(8, 2, 0.3, 3)
+	// Memory just large enough for the current placement.
+	for j := range inst.Servers {
+		used := 0.0
+		for i := range inst.Shards {
+			if inst.Placement[i][j] {
+				used += inst.Shards[i].Mem
+			}
+		}
+		inst.Servers[j].MemCap = used * 1.2
+	}
+	a, err := SolveMILP(inst, milp.Options{MaxNodes: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(inst, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPOPKExceedingServersClamped(t *testing.T) {
+	inst := NewInstance(12, 3, 0.1, 5)
+	a, err := SolvePOP(inst, core.Options{K: 10, Seed: 1}, milp.Options{MaxNodes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(inst, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyInstanceErrors(t *testing.T) {
+	if _, err := SolveMILP(&Instance{}, milp.Options{}); err == nil {
+		t.Fatal("expected error for empty instance")
+	}
+}

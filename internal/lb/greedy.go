@@ -1,0 +1,101 @@
+package lb
+
+import (
+	"sort"
+)
+
+// SolveGreedy is the E-Store-style one-tier greedy the paper compares
+// against in Figure 13. Each shard lives wholly on one server; while any
+// server sits above the band, the algorithm moves the hottest shard that
+// fits from the most loaded server to the least loaded one. It is fast but
+// moves more data than the MILP and may fail to reach the band when shard
+// loads are coarse.
+func SolveGreedy(inst *Instance) *Assignment {
+	n, m := len(inst.Shards), len(inst.Servers)
+	L := inst.AvgLoad()
+	eps := inst.TolFrac * L
+
+	// Home server: the first current placement (round-robin initially;
+	// single-home thereafter in the rounds simulation).
+	home := make([]int, n)
+	for i := range home {
+		home[i] = 0
+		for j := 0; j < m; j++ {
+			if inst.Placement[i][j] {
+				home[i] = j
+				break
+			}
+		}
+	}
+	load := make([]float64, m)
+	mem := make([]float64, m)
+	for i, s := range inst.Shards {
+		load[home[i]] += s.Load
+		mem[home[i]] += s.Mem
+	}
+
+	moved := map[int]bool{}
+	for iter := 0; iter < 4*n; iter++ {
+		// Most and least loaded servers.
+		hi, lo := 0, 0
+		for j := 1; j < m; j++ {
+			if load[j] > load[hi] {
+				hi = j
+			}
+			if load[j] < load[lo] {
+				lo = j
+			}
+		}
+		if load[hi] <= L+eps && load[lo] >= L-eps {
+			break // within band
+		}
+		// Hottest shard on hi that fits on lo without overshooting the
+		// band on lo (prefer the largest that keeps lo ≤ L+eps).
+		var cands []int
+		for i := range home {
+			if home[i] == hi {
+				cands = append(cands, i)
+			}
+		}
+		sort.SliceStable(cands, func(a, b int) bool {
+			return inst.Shards[cands[a]].Load > inst.Shards[cands[b]].Load
+		})
+		movedOne := false
+		for _, i := range cands {
+			s := inst.Shards[i]
+			if mem[lo]+s.Mem > inst.Servers[lo].MemCap {
+				continue
+			}
+			if load[lo]+s.Load > L+eps && load[hi]-s.Load < L-eps {
+				continue // move would overshoot both ways
+			}
+			if load[lo]+s.Load > load[hi] {
+				continue // would just swap the imbalance
+			}
+			home[i] = lo
+			load[hi] -= s.Load
+			load[lo] += s.Load
+			mem[hi] -= s.Mem
+			mem[lo] += s.Mem
+			moved[i] = true
+			movedOne = true
+			break
+		}
+		if !movedOne {
+			break // no improving move
+		}
+	}
+
+	out := &Assignment{
+		Frac:   make([][]float64, n),
+		Placed: make([][]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		out.Frac[i] = make([]float64, m)
+		out.Placed[i] = make([]bool, m)
+		out.Frac[i][home[i]] = 1
+		out.Placed[i][home[i]] = true
+	}
+	finalizeAssignment(inst, out)
+	return out
+}

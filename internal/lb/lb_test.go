@@ -1,0 +1,192 @@
+package lb
+
+import (
+	"testing"
+
+	"pop/internal/core"
+	"pop/internal/lp"
+	"pop/internal/milp"
+)
+
+func TestGreedyBalances(t *testing.T) {
+	inst := NewInstance(24, 4, 0.1, 1)
+	// Perturb loads so the round-robin start is unbalanced.
+	inst.ShiftLoads(2)
+	a := SolveGreedy(inst)
+	if err := VerifyFeasible(inst, a, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if a.Movements == 0 {
+		t.Log("greedy needed no movements (already balanced)")
+	}
+	if a.MaxDeviation > 1.0 {
+		t.Fatalf("greedy left deviation %g", a.MaxDeviation)
+	}
+}
+
+func TestMILPReachesBand(t *testing.T) {
+	inst := NewInstance(12, 3, 0.05, 3)
+	inst.ShiftLoads(4)
+	a, err := SolveMILP(inst, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(inst, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Fractional query routing always allows hitting the band exactly.
+	if a.MaxDeviation > 0.05+1e-6 {
+		t.Fatalf("MILP deviation %g above tolerance", a.MaxDeviation)
+	}
+}
+
+func TestMILPBeatsGreedyOnMovements(t *testing.T) {
+	inst := NewInstance(12, 3, 0.08, 5)
+	inst.ShiftLoads(6)
+	greedy := SolveGreedy(inst)
+	a, err := SolveMILP(inst, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Optimal {
+		t.Skip("MILP hit the node limit; movement comparison not meaningful")
+	}
+	// The exact MILP cannot move more bytes than a feasible greedy that
+	// reaches the band.
+	if greedy.MaxDeviation <= inst.TolFrac && a.MovedBytes > greedy.MovedBytes+1e-9 {
+		t.Fatalf("MILP moved %g bytes, greedy %g", a.MovedBytes, greedy.MovedBytes)
+	}
+}
+
+func TestPOPFeasibleAndCheaper(t *testing.T) {
+	inst := NewInstance(24, 6, 0.1, 7)
+	inst.ShiftLoads(8)
+	a, err := SolvePOP(inst, core.Options{K: 3, Seed: 2, Parallel: true}, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(inst, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := SolveMILP(inst, milp.Options{MaxNodes: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// POP sub-problems together hold ~1/k the binary variables.
+	if a.Variables >= exact.Variables {
+		t.Fatalf("POP variables %d >= exact %d", a.Variables, exact.Variables)
+	}
+}
+
+func TestRunRounds(t *testing.T) {
+	inst := NewInstance(16, 4, 0.1, 9)
+	res, err := RunRounds(inst, 5, 42, func(in *Instance) (*Assignment, error) {
+		return SolveGreedy(in), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if res.AvgRuntime <= 0 {
+		t.Fatal("runtime accounting missing")
+	}
+}
+
+func TestRunRoundsStateful(t *testing.T) {
+	// After a round, the placement must equal the assignment's Placed.
+	inst := NewInstance(10, 2, 0.2, 11)
+	var last *Assignment
+	_, err := RunRounds(inst, 3, 1, func(in *Instance) (*Assignment, error) {
+		last = SolveGreedy(in)
+		return last, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inst.Placement {
+		for j := range inst.Placement[i] {
+			if inst.Placement[i][j] != last.Placed[i][j] {
+				t.Fatal("placement not threaded through rounds")
+			}
+		}
+	}
+}
+
+func TestBalancedShardPartition(t *testing.T) {
+	inst := NewInstance(40, 8, 0.1, 13)
+	groups := balancedShardPartition(inst, 4, 1)
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	var sums []float64
+	seen := map[int]bool{}
+	for _, g := range groups {
+		s := 0.0
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("shard %d in two groups", i)
+			}
+			seen[i] = true
+			s += inst.Shards[i].Load
+		}
+		sums = append(sums, s)
+	}
+	if len(seen) != 40 {
+		t.Fatalf("assigned %d shards", len(seen))
+	}
+	lo, hi := sums[0], sums[0]
+	for _, s := range sums {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	// LPT keeps groups within a small factor.
+	if hi > 1.5*lo {
+		t.Fatalf("unbalanced load partition: %v", sums)
+	}
+}
+
+func TestMILPWarmStartUsed(t *testing.T) {
+	inst := NewInstance(10, 2, 0.15, 15)
+	inst.ShiftLoads(16)
+	// A tiny node budget still yields a feasible answer thanks to the
+	// greedy warm start.
+	a, err := SolveMILP(inst, milp.Options{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(inst, a, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPRoundingFeasibleButMovesMore(t *testing.T) {
+	inst := NewInstance(16, 4, 0.05, 21)
+	inst.ShiftLoads(22)
+	lpr, err := SolveLPRounding(inst, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFeasible(inst, lpr, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if lpr.MaxDeviation > inst.TolFrac+1e-6 {
+		t.Fatalf("LP rounding left the band: %g", lpr.MaxDeviation)
+	}
+	exact, err := SolveMILP(inst, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Optimal {
+		t.Skip("MILP not proven optimal; comparison not meaningful")
+	}
+	// The rounded relaxation cannot move less data than the true optimum.
+	if lpr.MovedBytes < exact.MovedBytes-1e-9 {
+		t.Fatalf("LP rounding moved %g bytes, below MILP optimum %g", lpr.MovedBytes, exact.MovedBytes)
+	}
+}

@@ -1,0 +1,116 @@
+package lb
+
+import (
+	"math/rand"
+	"sort"
+
+	"pop/internal/core"
+	"pop/internal/milp"
+)
+
+// SolvePOP applies the POP procedure to a balancing instance: servers are
+// divided evenly into k sub-clusters, shards are partitioned so that every
+// subset carries (approximately) the same total load — the paper's §4.3
+// requirement — and each sub-problem is solved with the unchanged MILP
+// formulation against its own sub-average load band. Shards whose current
+// server lands in a different sub-problem are forced to move, which is why
+// POP's movement count grows with k on small instances (visible in
+// Figure 13).
+func SolvePOP(inst *Instance, opts core.Options, milpOpts milp.Options) (*Assignment, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	k := opts.K
+	n, m := len(inst.Shards), len(inst.Servers)
+	if k > m {
+		k = m
+	}
+
+	serverGroups := core.Partition(m, k, core.RoundRobin, opts.Seed, nil)
+	shardGroups := balancedShardPartition(inst, k, opts.Seed)
+
+	subAssignments := make([]*Assignment, k)
+	subInsts := make([]*Instance, k)
+	for p := 0; p < k; p++ {
+		sub := &Instance{TolFrac: inst.TolFrac}
+		for _, i := range shardGroups[p] {
+			sub.Shards = append(sub.Shards, inst.Shards[i])
+		}
+		for _, j := range serverGroups[p] {
+			sub.Servers = append(sub.Servers, inst.Servers[j])
+		}
+		sub.Placement = make([][]bool, len(sub.Shards))
+		for si, i := range shardGroups[p] {
+			sub.Placement[si] = make([]bool, len(sub.Servers))
+			for sj, j := range serverGroups[p] {
+				sub.Placement[si][sj] = inst.Placement[i][j]
+			}
+		}
+		subInsts[p] = sub
+	}
+
+	err := core.ParallelMap(k, opts.Parallel, func(p int) error {
+		a, err := SolveMILP(subInsts[p], milpOpts)
+		subAssignments[p] = a
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Assignment{
+		Frac:    make([][]float64, n),
+		Placed:  make([][]bool, n),
+		Optimal: true,
+	}
+	for i := 0; i < n; i++ {
+		out.Frac[i] = make([]float64, m)
+		out.Placed[i] = make([]bool, m)
+	}
+	for p := 0; p < k; p++ {
+		sa := subAssignments[p]
+		out.Variables += sa.Variables
+		out.Optimal = out.Optimal && sa.Optimal
+		for si, i := range shardGroups[p] {
+			for sj, j := range serverGroups[p] {
+				out.Frac[i][j] = sa.Frac[si][sj]
+				out.Placed[i][j] = sa.Placed[si][sj]
+			}
+		}
+	}
+	finalizeAssignment(inst, out)
+	return out, nil
+}
+
+// balancedShardPartition deals shards into k groups equalizing total load:
+// shards are shuffled, then sorted by load descending and greedily assigned
+// to the lightest group with room (LPT scheduling), keeping group sizes
+// within ±1 of n/k.
+func balancedShardPartition(inst *Instance, k int, seed int64) [][]int {
+	n := len(inst.Shards)
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n)
+	sort.SliceStable(order, func(a, b int) bool {
+		return inst.Shards[order[a]].Load > inst.Shards[order[b]].Load
+	})
+	groups := make([][]int, k)
+	sums := make([]float64, k)
+	capPer := (n + k - 1) / k
+	for _, i := range order {
+		best := -1
+		for p := 0; p < k; p++ {
+			if len(groups[p]) >= capPer {
+				continue
+			}
+			if best < 0 || sums[p] < sums[best] {
+				best = p
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		groups[best] = append(groups[best], i)
+		sums[best] += inst.Shards[i].Load
+	}
+	return groups
+}

@@ -1,0 +1,54 @@
+package lb
+
+import (
+	"time"
+)
+
+// Solver produces an assignment for one balancing round.
+type Solver func(*Instance) (*Assignment, error)
+
+// RoundsResult aggregates a multi-round simulation (Figure 13 reports the
+// per-round averages).
+type RoundsResult struct {
+	Rounds        int
+	AvgMovements  float64
+	AvgMovedBytes float64
+	AvgDeviation  float64
+	AvgRuntime    time.Duration
+	TotalRuntime  time.Duration
+	// OptimalRounds counts rounds where the solver proved optimality.
+	OptimalRounds int
+}
+
+// RunRounds plays `rounds` balancing rounds: each round the shard loads
+// shift (ShiftLoads), the solver computes a new assignment, and the
+// resulting placement becomes the next round's starting placement — the
+// stateful setting of Figure 13 ("previous round's solution is initial
+// state for current round").
+func RunRounds(inst *Instance, rounds int, seed int64, solver Solver) (*RoundsResult, error) {
+	res := &RoundsResult{Rounds: rounds}
+	for r := 0; r < rounds; r++ {
+		inst.ShiftLoads(seed + int64(r)*101)
+		start := time.Now()
+		a, err := solver(inst)
+		el := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalRuntime += el
+		res.AvgMovements += float64(a.Movements)
+		res.AvgMovedBytes += a.MovedBytes
+		res.AvgDeviation += a.MaxDeviation
+		if a.Optimal {
+			res.OptimalRounds++
+		}
+		// The new placement seeds the next round.
+		inst.Placement = a.Placed
+	}
+	f := float64(rounds)
+	res.AvgMovements /= f
+	res.AvgMovedBytes /= f
+	res.AvgDeviation /= f
+	res.AvgRuntime = time.Duration(float64(res.TotalRuntime) / f)
+	return res, nil
+}

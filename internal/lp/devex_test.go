@@ -1,0 +1,80 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDevexAgreesWithDantzig: pricing strategy must not change the optimum.
+func TestDevexAgreesWithDantzig(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 25; trial++ {
+		p1 := randomFeasibleLP(rng, 10, 30)
+		p2 := cloneProblem(p1)
+		s1, err := p1.SolveWithOptions(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := p2.SolveWithOptions(Options{Devex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Status != s2.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, s1.Status, s2.Status)
+		}
+		if s1.Status == Optimal && !approxEq(s1.Objective, s2.Objective, 1e-6) {
+			t.Fatalf("trial %d: obj %.10g vs %.10g", trial, s1.Objective, s2.Objective)
+		}
+	}
+}
+
+// TestDevexPropertyFeasible: devex solutions satisfy the same feasibility
+// certificates as Dantzig ones.
+func TestDevexPropertyFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomFeasibleLP(rng, 6, 18)
+		sol, err := p.SolveWithOptions(Options{Devex: true})
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		return p.CheckFeasible(sol.X, 1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDevexWithScalingAndStatuses: devex composes with equilibration and
+// preserves infeasible/unbounded detection.
+func TestDevexWithScalingAndStatuses(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable(1e5, 0, 1, "x")
+	y := p.AddVariable(1, 0, 1e4, "y")
+	p.AddConstraint([]int{x, y}, []float64{1e5, 1e-2}, LE, 1e5+50, "")
+	sol, err := p.SolveWithOptions(Options{Devex: true, Scale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireObj(t, sol, 109950) // x=0.9995 frees y to its full 1e4
+
+	inf := NewProblem(Maximize)
+	v := inf.AddVariable(1, 0, 10, "v")
+	inf.AddConstraint([]int{v}, []float64{1}, GE, 20, "")
+	s2, err := inf.SolveWithOptions(Options{Devex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, s2, Infeasible)
+
+	unb := NewProblem(Maximize)
+	u := unb.AddVariable(1, 0, Inf, "u")
+	w := unb.AddVariable(0, 0, Inf, "w")
+	unb.AddConstraint([]int{u, w}, []float64{1, -1}, LE, 1, "")
+	s3, err := unb.SolveWithOptions(Options{Devex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStatus(t, s3, Unbounded)
+}

@@ -1,0 +1,28 @@
+// Package lp implements a linear-programming solver sufficient for the
+// resource-allocation formulations used throughout this repository: cluster
+// scheduling (max-min fairness, makespan), traffic engineering (max total
+// flow, max concurrent flow), and the LP relaxations used by the MILP
+// branch-and-bound in package milp.
+//
+// The algorithm is a two-phase bounded-variable revised simplex:
+//
+//   - The model is standardized to  min cᵀx  s.t.  Ax = b,  l ≤ x ≤ u  by
+//     appending one slack column per row (equality rows get a slack fixed to
+//     [0,0] so the basis machinery stays uniform).
+//   - Phase 1 starts from an all-artificial basis and minimizes the sum of
+//     infeasibilities; phase 2 optimizes the real objective.
+//   - The constraint matrix is stored column-wise and sparse; the basis
+//     inverse is a dense m×m matrix maintained with product-form (eta)
+//     updates and rebuilt by Gauss-Jordan elimination when numerical drift
+//     is detected or after a fixed number of pivots.
+//   - Pricing is Dantzig (most-negative reduced cost) with an automatic
+//     switch to Bland's rule after a run of degenerate pivots, which
+//     guarantees termination.
+//   - The ratio test handles variable bound flips, so boxed variables (the
+//     common case in allocation problems, where 0 ≤ A ≤ 1) never enter the
+//     basis just to move between their bounds.
+//
+// The solver reports primal values, row duals, reduced costs, and a status
+// (Optimal, Infeasible, Unbounded, IterLimit, Numerical). It is deterministic:
+// the same model always takes the same pivot sequence.
+package lp

@@ -1,0 +1,109 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	expectPanic(t, "crossed bounds", func() {
+		p := NewProblem(Minimize)
+		p.AddVariable(1, 2, 1, "x")
+	})
+	expectPanic(t, "NaN objective", func() {
+		p := NewProblem(Minimize)
+		p.AddVariable(math.NaN(), 0, 1, "x")
+	})
+	expectPanic(t, "infinite objective", func() {
+		p := NewProblem(Minimize)
+		p.AddVariable(math.Inf(1), 0, 1, "x")
+	})
+	expectPanic(t, "NaN coefficient", func() {
+		p := NewProblem(Minimize)
+		x := p.AddVariable(1, 0, 1, "x")
+		p.AddConstraint([]int{x}, []float64{math.NaN()}, LE, 1, "")
+	})
+	expectPanic(t, "NaN rhs", func() {
+		p := NewProblem(Minimize)
+		x := p.AddVariable(1, 0, 1, "x")
+		p.AddConstraint([]int{x}, []float64{1}, LE, math.NaN(), "")
+	})
+	expectPanic(t, "unknown variable", func() {
+		p := NewProblem(Minimize)
+		p.AddVariable(1, 0, 1, "x")
+		p.AddConstraint([]int{5}, []float64{1}, LE, 1, "")
+	})
+	expectPanic(t, "length mismatch", func() {
+		p := NewProblem(Minimize)
+		x := p.AddVariable(1, 0, 1, "x")
+		p.AddConstraint([]int{x}, []float64{1, 2}, LE, 1, "")
+	})
+	expectPanic(t, "SetBounds crossed", func() {
+		p := NewProblem(Minimize)
+		x := p.AddVariable(1, 0, 1, "x")
+		p.SetBounds(x, 3, 2)
+	})
+}
+
+func TestIterLimitReturnsPartialX(t *testing.T) {
+	p := NewProblem(Maximize)
+	n := 30
+	idx := make([]int, n)
+	coef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		idx[j] = p.AddVariable(float64(j%7+1), 0, 10, "")
+		coef[j] = 1
+	}
+	p.AddConstraint(idx, coef, LE, 50, "")
+	sol, err := p.SolveWithOptions(Options{MaxIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == Optimal {
+		t.Skip("solved within 2 pivots; nothing to assert")
+	}
+	if len(sol.X) != n {
+		t.Fatalf("partial X has %d entries, want %d", len(sol.X), n)
+	}
+}
+
+func TestCheckFeasibleReportsViolations(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1, 0, 1, "x")
+	y := p.AddVariable(1, 0, 1, "y")
+	p.AddConstraint([]int{x, y}, []float64{1, 1}, GE, 1.5, "cover")
+
+	if err := p.CheckFeasible([]float64{1, 1}, 1e-9); err != nil {
+		t.Fatalf("feasible point rejected: %v", err)
+	}
+	if err := p.CheckFeasible([]float64{0, 0}, 1e-9); err == nil {
+		t.Fatal("constraint violation not reported")
+	}
+	if err := p.CheckFeasible([]float64{2, 0}, 1e-9); err == nil {
+		t.Fatal("bound violation not reported")
+	}
+	if err := p.CheckFeasible([]float64{1}, 1e-9); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestValueEvaluates(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable(3, 0, 10, "x")
+	y := p.AddVariable(-2, 0, 10, "y")
+	_ = x
+	_ = y
+	if got := p.Value([]float64{2, 5}); got != 3*2-2*5 {
+		t.Fatalf("Value = %g", got)
+	}
+}

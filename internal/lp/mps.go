@@ -1,0 +1,426 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ReadMPS parses a linear program in free-format MPS from r. Supported
+// sections: NAME, OBJSENSE (MAX/MIN, an industry extension), ROWS, COLUMNS,
+// RHS, RANGES, BOUNDS, ENDATA. Integer markers inside COLUMNS
+// ("MARKER ... INTORG/INTEND") are recognized; the returned intVars slice
+// lists the variables declared integral (callers wanting a MILP pass them
+// to package milp).
+//
+// RANGES rows are expanded into a second inequality, so the returned
+// Problem may have more rows than the file.
+func ReadMPS(r io.Reader) (p *Problem, intVars []int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	type rowInfo struct {
+		sense Sense
+		isObj bool
+		terms map[int]float64
+		rhs   float64
+		rng   *float64
+	}
+	var (
+		section  string
+		objSense = Minimize
+		rowOrder []string
+		rows     = map[string]*rowInfo{}
+		objName  string
+		colOrder []string
+		colIdx   = map[string]int{}
+		colObj   = map[string]float64{}
+		colLB    = map[string]float64{}
+		colUB    = map[string]float64{}
+		lbSet    = map[string]bool{}
+		ubSet    = map[string]bool{}
+		isInt    = map[string]bool{}
+		inInt    bool
+		lineNo   int
+	)
+
+	colOf := func(name string) int {
+		if idx, ok := colIdx[name]; ok {
+			return idx
+		}
+		idx := len(colOrder)
+		colIdx[name] = idx
+		colOrder = append(colOrder, name)
+		return idx
+	}
+
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		if i := strings.IndexByte(raw, '*'); i == 0 {
+			continue // comment line
+		}
+		line := strings.TrimRight(raw, " \t\r")
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(raw) > 0 && raw[0] != ' ' && raw[0] != '\t' {
+			// Section header.
+			section = strings.ToUpper(fields[0])
+			if section == "OBJSENSE" && len(fields) > 1 {
+				if strings.EqualFold(fields[1], "MAX") || strings.EqualFold(fields[1], "MAXIMIZE") {
+					objSense = Maximize
+				}
+				section = "" // consumed inline
+			}
+			if section == "ENDATA" {
+				break
+			}
+			continue
+		}
+		switch section {
+		case "OBJSENSE":
+			if strings.EqualFold(fields[0], "MAX") || strings.EqualFold(fields[0], "MAXIMIZE") {
+				objSense = Maximize
+			}
+			section = ""
+		case "ROWS":
+			if len(fields) < 2 {
+				return nil, nil, fmt.Errorf("lp: mps line %d: malformed ROWS entry", lineNo)
+			}
+			name := fields[1]
+			ri := &rowInfo{terms: map[int]float64{}}
+			switch strings.ToUpper(fields[0]) {
+			case "N":
+				ri.isObj = true
+				if objName == "" {
+					objName = name
+				}
+			case "L":
+				ri.sense = LE
+			case "G":
+				ri.sense = GE
+			case "E":
+				ri.sense = EQ
+			default:
+				return nil, nil, fmt.Errorf("lp: mps line %d: unknown row type %q", lineNo, fields[0])
+			}
+			rows[name] = ri
+			rowOrder = append(rowOrder, name)
+		case "COLUMNS":
+			if len(fields) >= 3 && strings.Contains(strings.ToUpper(fields[1]), "MARKER") {
+				switch strings.ToUpper(strings.Trim(fields[2], "'")) {
+				case "INTORG":
+					inInt = true
+				case "INTEND":
+					inInt = false
+				}
+				continue
+			}
+			if len(fields) < 3 || len(fields)%2 == 0 {
+				return nil, nil, fmt.Errorf("lp: mps line %d: malformed COLUMNS entry", lineNo)
+			}
+			col := fields[0]
+			colOf(col)
+			if inInt {
+				isInt[col] = true
+			}
+			for t := 1; t+1 <= len(fields)-1; t += 2 {
+				rowName := fields[t]
+				v, err := strconv.ParseFloat(fields[t+1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+				ri, ok := rows[rowName]
+				if !ok {
+					return nil, nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, rowName)
+				}
+				if ri.isObj {
+					colObj[col] += v
+				} else {
+					ri.terms[colIdx[col]] += v
+				}
+			}
+		case "RHS":
+			// First field is usually the RHS set name; some writers omit it,
+			// leaving an even field count.
+			start := 1
+			if len(fields)%2 == 0 {
+				start = 0
+			}
+			for t := start; t+1 <= len(fields)-1; t += 2 {
+				rowName := fields[t]
+				v, err := strconv.ParseFloat(fields[t+1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+				if ri, ok := rows[rowName]; ok && !ri.isObj {
+					ri.rhs = v
+				}
+			}
+		case "RANGES":
+			start := 1
+			if len(fields)%2 == 0 {
+				start = 0
+			}
+			for t := start; t+1 <= len(fields)-1; t += 2 {
+				rowName := fields[t]
+				v, err := strconv.ParseFloat(fields[t+1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+				if ri, ok := rows[rowName]; ok {
+					vv := v
+					ri.rng = &vv
+				}
+			}
+		case "BOUNDS":
+			if len(fields) < 3 {
+				return nil, nil, fmt.Errorf("lp: mps line %d: malformed BOUNDS entry", lineNo)
+			}
+			btype := strings.ToUpper(fields[0])
+			col := fields[2]
+			colOf(col)
+			var v float64
+			if len(fields) >= 4 {
+				v, err = strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+			}
+			switch btype {
+			case "UP":
+				colUB[col] = v
+				ubSet[col] = true
+			case "LO":
+				colLB[col] = v
+				lbSet[col] = true
+			case "FX":
+				colLB[col], colUB[col] = v, v
+				lbSet[col], ubSet[col] = true, true
+			case "FR":
+				colLB[col] = math.Inf(-1)
+				colUB[col] = math.Inf(1)
+				lbSet[col], ubSet[col] = true, true
+			case "MI":
+				colLB[col] = math.Inf(-1)
+				lbSet[col] = true
+			case "PL":
+				colUB[col] = math.Inf(1)
+				ubSet[col] = true
+			case "BV":
+				colLB[col], colUB[col] = 0, 1
+				lbSet[col], ubSet[col] = true, true
+				isInt[col] = true
+			default:
+				return nil, nil, fmt.Errorf("lp: mps line %d: unsupported bound type %q", lineNo, btype)
+			}
+		case "":
+			// ignore
+		default:
+			return nil, nil, fmt.Errorf("lp: mps line %d: data in unknown section %q", lineNo, section)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if objName == "" {
+		return nil, nil, fmt.Errorf("lp: mps: no objective (N) row")
+	}
+
+	p = NewProblem(objSense)
+	for _, col := range colOrder {
+		lb, ub := 0.0, math.Inf(1)
+		if lbSet[col] {
+			lb = colLB[col]
+		}
+		if ubSet[col] {
+			ub = colUB[col]
+		}
+		// MPS convention: an UP bound with a negative value and no LO bound
+		// implies lb = -inf.
+		if ubSet[col] && !lbSet[col] && ub < 0 {
+			lb = math.Inf(-1)
+		}
+		v := p.AddVariable(colObj[col], lb, ub, col)
+		if isInt[col] {
+			intVars = append(intVars, v)
+		}
+	}
+	for _, name := range rowOrder {
+		ri := rows[name]
+		if ri.isObj || len(ri.terms) == 0 {
+			continue
+		}
+		idx := make([]int, 0, len(ri.terms))
+		for v := range ri.terms {
+			idx = append(idx, v)
+		}
+		sort.Ints(idx)
+		val := make([]float64, len(idx))
+		for t, v := range idx {
+			val[t] = ri.terms[v]
+		}
+		p.AddConstraint(idx, val, ri.sense, ri.rhs, name)
+		if ri.rng != nil {
+			// RANGES: the row becomes two-sided. For L rows the implied
+			// second constraint is ≥ rhs-|R|; for G rows ≤ rhs+|R|; for E
+			// rows the interval is [rhs, rhs+|R|] (sign conventions vary;
+			// we use the absolute-value form).
+			rv := math.Abs(*ri.rng)
+			switch ri.sense {
+			case LE:
+				p.AddConstraint(idx, val, GE, ri.rhs-rv, name+"_rng")
+			case GE:
+				p.AddConstraint(idx, val, LE, ri.rhs+rv, name+"_rng")
+			case EQ:
+				// Replace the equality semantics with an interval by adding
+				// a ≤ upper row; the EQ row already pins the lower end, so
+				// instead emit as [rhs, rhs+rv] using two inequalities.
+				// The EQ row was already added; approximate the standard
+				// convention by widening upward.
+				p.AddConstraint(idx, val, LE, ri.rhs+rv, name+"_rng")
+			}
+		}
+	}
+	return p, intVars, nil
+}
+
+// WriteMPS writes the problem in free-format MPS. Integer variables (by
+// index) are wrapped in INTORG/INTEND markers.
+func (p *Problem) WriteMPS(w io.Writer, name string, intVars []int) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "POP"
+	}
+	fmt.Fprintf(bw, "NAME          %s\n", name)
+	if p.objective == Maximize {
+		fmt.Fprintf(bw, "OBJSENSE\n    MAX\n")
+	}
+	fmt.Fprintf(bw, "ROWS\n N  COST\n")
+	rowName := func(i int) string {
+		if p.rowNames[i] != "" {
+			return fmt.Sprintf("R%d_%s", i, sanitize(p.rowNames[i]))
+		}
+		return fmt.Sprintf("R%d", i)
+	}
+	for i, r := range p.rows {
+		var t string
+		switch r.sense {
+		case LE:
+			t = "L"
+		case GE:
+			t = "G"
+		case EQ:
+			t = "E"
+		}
+		fmt.Fprintf(bw, " %s  %s\n", t, rowName(i))
+	}
+
+	colName := func(j int) string {
+		if p.varNames[j] != "" {
+			return fmt.Sprintf("X%d_%s", j, sanitize(p.varNames[j]))
+		}
+		return fmt.Sprintf("X%d", j)
+	}
+	// Column-wise terms.
+	terms := make([][][2]float64, len(p.obj)) // per column: (row, coef)
+	for i, r := range p.rows {
+		merged := map[int]float64{}
+		for t, v := range r.idx {
+			merged[v] += r.val[t]
+		}
+		cols := make([]int, 0, len(merged))
+		for v := range merged {
+			cols = append(cols, v)
+		}
+		sort.Ints(cols)
+		for _, v := range cols {
+			terms[v] = append(terms[v], [2]float64{float64(i), merged[v]})
+		}
+	}
+	isInt := map[int]bool{}
+	for _, v := range intVars {
+		isInt[v] = true
+	}
+
+	fmt.Fprintf(bw, "COLUMNS\n")
+	inInt := false
+	marker := 0
+	for j := range p.obj {
+		if isInt[j] && !inInt {
+			fmt.Fprintf(bw, "    MARKER%d  'MARKER'  'INTORG'\n", marker)
+			marker++
+			inInt = true
+		}
+		if !isInt[j] && inInt {
+			fmt.Fprintf(bw, "    MARKER%d  'MARKER'  'INTEND'\n", marker)
+			marker++
+			inInt = false
+		}
+		if p.obj[j] != 0 {
+			fmt.Fprintf(bw, "    %s  COST  %.17g\n", colName(j), p.obj[j])
+		}
+		for _, t := range terms[j] {
+			fmt.Fprintf(bw, "    %s  %s  %.17g\n", colName(j), rowName(int(t[0])), t[1])
+		}
+		if p.obj[j] == 0 && len(terms[j]) == 0 {
+			// Column must still appear so the variable exists on re-read.
+			fmt.Fprintf(bw, "    %s  COST  0\n", colName(j))
+		}
+	}
+	if inInt {
+		fmt.Fprintf(bw, "    MARKER%d  'MARKER'  'INTEND'\n", marker)
+	}
+
+	fmt.Fprintf(bw, "RHS\n")
+	for i, r := range p.rows {
+		if r.rhs != 0 {
+			fmt.Fprintf(bw, "    RHS  %s  %.17g\n", rowName(i), r.rhs)
+		}
+	}
+
+	fmt.Fprintf(bw, "BOUNDS\n")
+	for j := range p.obj {
+		lb, ub := p.lb[j], p.ub[j]
+		switch {
+		case lb == ub:
+			fmt.Fprintf(bw, " FX BND  %s  %.17g\n", colName(j), lb)
+		case math.IsInf(lb, -1) && math.IsInf(ub, 1):
+			fmt.Fprintf(bw, " FR BND  %s\n", colName(j))
+		default:
+			if math.IsInf(lb, -1) {
+				fmt.Fprintf(bw, " MI BND  %s\n", colName(j))
+			} else if lb != 0 {
+				fmt.Fprintf(bw, " LO BND  %s  %.17g\n", colName(j), lb)
+			}
+			if !math.IsInf(ub, 1) {
+				fmt.Fprintf(bw, " UP BND  %s  %.17g\n", colName(j), ub)
+			}
+		}
+	}
+	fmt.Fprintf(bw, "ENDATA\n")
+	return bw.Flush()
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) > 24 {
+		out = out[:24]
+	}
+	return string(out)
+}

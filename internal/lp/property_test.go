@@ -1,0 +1,193 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyFeasibilityAndCertificates: for random feasible LPs, the
+// returned point must satisfy all constraints, reproduce the reported
+// objective, and satisfy the complementary-slackness/strong-duality
+// identity for bounded-variable LPs:
+//
+//	cᵀx = yᵀb + Σ_{j at lower} d_j·l_j + Σ_{j at upper} d_j·u_j
+func TestPropertyFeasibilityAndCertificates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(10)
+		n := 2 + rng.Intn(16)
+		p := randomFeasibleLP(rng, m, n)
+		sol, err := p.SolveWithOptions(Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if sol.Status != Optimal {
+			// Random feasible-by-construction LPs with boxed variables are
+			// never unbounded or infeasible.
+			t.Logf("seed %d: status %v", seed, sol.Status)
+			return false
+		}
+		if err := p.CheckFeasible(sol.X, 1e-6); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !approxEq(p.Value(sol.X), sol.Objective, 1e-7) {
+			t.Logf("seed %d: objective mismatch %g vs %g", seed, p.Value(sol.X), sol.Objective)
+			return false
+		}
+		// Strong duality with bound contributions. All variables here have
+		// bounds [0, 5]: lower-bound terms vanish, upper-bound terms are
+		// 5·d_j for variables at 5.
+		dualVal := 0.0
+		for i, r := range p.rows {
+			dualVal += sol.Dual[i] * r.rhs
+		}
+		for j := range p.obj {
+			x := sol.X[j]
+			switch {
+			case approxEq(x, p.lb[j], 1e-7):
+				dualVal += sol.ReducedCost[j] * p.lb[j]
+			case approxEq(x, p.ub[j], 1e-7):
+				dualVal += sol.ReducedCost[j] * p.ub[j]
+			}
+		}
+		if !approxEq(dualVal, sol.Objective, 1e-5) {
+			t.Logf("seed %d: duality gap %g vs %g", seed, dualVal, sol.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDualSigns: for a maximization with ≤ rows, shadow prices are
+// nonnegative; for ≥ rows they are nonpositive.
+func TestPropertyDualSigns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProblem(Maximize)
+		n := 3 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			p.AddVariable(rng.Float64()*4-1, 0, 10, "")
+		}
+		// One ≤ row and one ≥ row, both loose enough to stay feasible.
+		idx := make([]int, n)
+		le := make([]float64, n)
+		ge := make([]float64, n)
+		for j := 0; j < n; j++ {
+			idx[j] = j
+			le[j] = rng.Float64() + 0.1
+			ge[j] = rng.Float64() + 0.1
+		}
+		p.AddConstraint(idx, le, LE, 5+rng.Float64()*10, "le")
+		p.AddConstraint(idx, ge, GE, 0, "ge") // trivially satisfiable at x=0
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return true // skip non-optimal cases (not this property's job)
+		}
+		if sol.Dual[0] < -1e-7 {
+			t.Logf("seed %d: ≤ row dual %g < 0", seed, sol.Dual[0])
+			return false
+		}
+		if sol.Dual[1] > 1e-7 {
+			t.Logf("seed %d: ≥ row dual %g > 0", seed, sol.Dual[1])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyScaleInvariance: scaling the objective leaves the argmax
+// unchanged and scales the optimum.
+func TestPropertyScaleInvariance(t *testing.T) {
+	f := func(seed int64, scaleRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := 0.5 + float64(scaleRaw%50)
+		p1 := randomFeasibleLP(rng, 5, 8)
+		p2 := cloneProblem(p1)
+		for j := range p2.obj {
+			p2.obj[j] *= scale
+		}
+		s1, err1 := p1.Solve()
+		s2, err2 := p2.Solve()
+		if err1 != nil || err2 != nil || s1.Status != Optimal || s2.Status != Optimal {
+			return false
+		}
+		return approxEq(s1.Objective*scale, s2.Objective, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTighteningMonotone: adding a constraint can only reduce a
+// maximization optimum.
+func TestPropertyTighteningMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p1 := randomFeasibleLP(rng, 4, 10)
+		s1, err := p1.Solve()
+		if err != nil || s1.Status != Optimal {
+			return false
+		}
+		// Tighten: cap a random variable at half its current value.
+		j := rng.Intn(10)
+		p2 := cloneProblem(p1)
+		p2.AddConstraint([]int{j}, []float64{1}, LE, s1.X[j]/2, "tighten")
+		s2, err := p2.Solve()
+		if err != nil {
+			return false
+		}
+		if s2.Status == Infeasible {
+			return true // tightening below the lower bound; fine
+		}
+		return s2.Status == Optimal && s2.Objective <= s1.Objective+1e-6*(1+math.Abs(s1.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEqualityResidual: equality constraints hold to tolerance at
+// optimality.
+func TestPropertyEqualityResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		p := NewProblem(Minimize)
+		x0 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			x0[j] = rng.Float64() * 3
+			p.AddVariable(rng.NormFloat64(), 0, 4, "")
+		}
+		// Two equality rows satisfied by x0 (so the LP is feasible).
+		for i := 0; i < 2; i++ {
+			idx := make([]int, n)
+			coef := make([]float64, n)
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				idx[j] = j
+				coef[j] = rng.Float64()
+				rhs += coef[j] * x0[j]
+			}
+			p.AddConstraint(idx, coef, EQ, rhs, "")
+		}
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			t.Logf("seed %d: err=%v status=%v", seed, err, sol.Status)
+			return false
+		}
+		return p.CheckFeasible(sol.X, 1e-5) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package lp
+
+import (
+	"math"
+)
+
+// equilibrate computes row and column scale factors for the standardized
+// matrix by geometric-mean equilibration, rounded to powers of two so the
+// scaling itself introduces no floating-point error. Scaling improves the
+// conditioning of bases drawn from matrices whose coefficients span many
+// orders of magnitude (e.g. link capacities in Gbps next to unit demand
+// rows).
+//
+// The scaled system is  (R·A·C)·x' = R·b  with  x = C·x',  and duals map
+// back as  y = R·y'.
+func equilibrate(std *standardized) (rowScale, colScale []float64) {
+	m := std.m
+	rowScale = make([]float64, m)
+	colScale = make([]float64, std.ncols)
+	for i := range rowScale {
+		rowScale[i] = 1
+	}
+	for j := range colScale {
+		colScale[j] = 1
+	}
+
+	// Two rounds of alternating row/column geometric-mean scaling.
+	for round := 0; round < 2; round++ {
+		// Row pass: geometric mean of |a_ij·c_j| per row.
+		logSum := make([]float64, m)
+		count := make([]int, m)
+		for j := 0; j < std.ncols; j++ {
+			ind, val := std.col(j)
+			for t, i := range ind {
+				v := math.Abs(val[t] * colScale[j] * rowScale[i])
+				if v > 0 {
+					logSum[i] += math.Log2(v)
+					count[i]++
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			if count[i] > 0 {
+				rowScale[i] *= pow2Round(-logSum[i] / float64(count[i]))
+			}
+		}
+		// Column pass.
+		for j := 0; j < std.ncols; j++ {
+			ind, val := std.col(j)
+			ls, c := 0.0, 0
+			for t, i := range ind {
+				v := math.Abs(val[t] * colScale[j] * rowScale[i])
+				if v > 0 {
+					ls += math.Log2(v)
+					c++
+				}
+			}
+			if c > 0 {
+				colScale[j] *= pow2Round(-ls / float64(c))
+			}
+		}
+	}
+	return rowScale, colScale
+}
+
+// pow2Round returns 2^round(e), clamped to a sane range.
+func pow2Round(e float64) float64 {
+	r := math.Round(e)
+	if r > 30 {
+		r = 30
+	}
+	if r < -30 {
+		r = -30
+	}
+	return math.Ldexp(1, int(r))
+}
+
+// applyScaling rescales the standardized model in place and returns the
+// factors needed to unscale the solution.
+func applyScaling(std *standardized) (rowScale, colScale []float64) {
+	rowScale, colScale = equilibrate(std)
+	for j := 0; j < std.ncols; j++ {
+		ind, val := std.col(j)
+		for t, i := range ind {
+			val[t] *= rowScale[i] * colScale[j]
+		}
+		std.c[j] *= colScale[j]
+		// x' = x / c_j, so bounds divide by c_j.
+		if !math.IsInf(std.lb[j], -1) {
+			std.lb[j] /= colScale[j]
+		}
+		if !math.IsInf(std.ub[j], 1) {
+			std.ub[j] /= colScale[j]
+		}
+	}
+	for i := 0; i < std.m; i++ {
+		std.b[i] *= rowScale[i]
+	}
+	return rowScale, colScale
+}

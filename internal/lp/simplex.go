@@ -1,0 +1,815 @@
+package lp
+
+import (
+	"math"
+)
+
+// Variable status codes for the bounded-variable simplex.
+const (
+	statBasic int8 = iota
+	statLower      // nonbasic at lower bound
+	statUpper      // nonbasic at upper bound
+	statFree       // nonbasic free variable, held at zero
+)
+
+type simplex struct {
+	std  *standardized
+	opts Options
+
+	// Scaling factors when opts.Scale is set (nil otherwise); solutions are
+	// unscaled in extract.
+	rowScale, colScale []float64
+
+	m, ncols int
+	phase    int // 1 or 2
+
+	// Per-column state; artificial columns live at indices ncols..ncols+m-1.
+	status []int8
+	x      []float64
+
+	// cost is the objective being minimized in the current phase.
+	cost []float64
+
+	// Basis: basis[i] is the column occupying row position i.
+	basis []int
+
+	// Dense m×m basis inverse, row-major.
+	binv []float64
+
+	// artStart is the first artificial column index; artSign[i] is the
+	// coefficient (±1) of the artificial for row i.
+	artStart int
+	artSign  []float64
+
+	// Scratch buffers.
+	y, w, rhs []float64
+
+	// Devex reference weights (nil unless opts.Devex).
+	devexW []float64
+
+	iters          int
+	sinceReinvert  int
+	degenerateRun  int
+	blandMode      bool
+	numericTrouble bool
+}
+
+func newSimplex(p *Problem, opts Options) *simplex {
+	std := p.standardize()
+	s := &simplex{
+		std:   std,
+		m:     std.m,
+		ncols: std.ncols,
+	}
+	s.opts = opts.withDefaults(std.m, std.ncols)
+	if s.opts.Scale {
+		s.rowScale, s.colScale = applyScaling(std)
+	}
+	return s
+}
+
+// lbOf and ubOf extend the bound arrays over artificial columns: [0, +Inf)
+// during phase 1, pinned to [0, 0] during phase 2.
+func (s *simplex) lbOf(j int) float64 {
+	if j >= s.artStart {
+		return 0
+	}
+	return s.std.lb[j]
+}
+
+func (s *simplex) ubOf(j int) float64 {
+	if j >= s.artStart {
+		if s.phase == 1 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return s.std.ub[j]
+}
+
+func (s *simplex) solve() *Solution {
+	if s.m == 0 {
+		return s.solveUnconstrained()
+	}
+	s.initPhase1()
+
+	if !s.initialFeasible() {
+		st := s.iterate()
+		if st == IterLimit || st == Numerical {
+			return s.failure(st)
+		}
+		if s.phase1Objective() > 1e2*s.opts.TolFeas*float64(1+s.m) {
+			return s.failure(Infeasible)
+		}
+	}
+
+	// Phase 2: real costs; artificials are pinned to [0,0] by ubOf.
+	s.phase = 2
+	for j := s.artStart; j < s.artStart+s.m; j++ {
+		s.cost[j] = 0
+		if s.status[j] != statBasic {
+			s.status[j] = statLower
+			s.x[j] = 0
+		}
+	}
+	copy(s.cost, s.std.c)
+	s.degenerateRun = 0
+	s.blandMode = s.opts.BlandOnly
+
+	st := s.iterate()
+	if st != Optimal {
+		return s.failure(st)
+	}
+	return s.extract()
+}
+
+// solveUnconstrained handles models with no constraints: each variable moves
+// independently to its best bound.
+func (s *simplex) solveUnconstrained() *Solution {
+	n := s.std.n
+	sol := &Solution{
+		Status:      Optimal,
+		X:           make([]float64, n),
+		ReducedCost: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		c := s.std.c[j]
+		lb, ub := s.std.lb[j], s.std.ub[j]
+		switch {
+		case c > 0:
+			if math.IsInf(lb, -1) {
+				sol.Status = Unbounded
+				return sol
+			}
+			sol.X[j] = lb
+		case c < 0:
+			if math.IsInf(ub, 1) {
+				sol.Status = Unbounded
+				return sol
+			}
+			sol.X[j] = ub
+		default:
+			switch {
+			case lb > 0:
+				sol.X[j] = lb
+			case ub < 0:
+				sol.X[j] = ub
+			}
+		}
+		sol.Objective += s.std.c[j] * sol.X[j] * s.std.objSign
+		sol.ReducedCost[j] = s.std.c[j] * s.std.objSign
+	}
+	return sol
+}
+
+// initPhase1 builds the all-artificial starting basis.
+func (s *simplex) initPhase1() {
+	std := s.std
+	m := s.m
+	s.phase = 1
+
+	// Nonbasic placement for every real column: nearest finite bound, or
+	// free at zero.
+	s.status = make([]int8, s.ncols+m)
+	s.x = make([]float64, s.ncols+m)
+	for j := 0; j < s.ncols; j++ {
+		lb, ub := std.lb[j], std.ub[j]
+		switch {
+		case !math.IsInf(lb, -1):
+			s.status[j] = statLower
+			s.x[j] = lb
+		case !math.IsInf(ub, 1):
+			s.status[j] = statUpper
+			s.x[j] = ub
+		default:
+			s.status[j] = statFree
+			s.x[j] = 0
+		}
+	}
+
+	// Residual r = b - A·x_N decides each artificial's sign.
+	r := make([]float64, m)
+	copy(r, std.b)
+	for j := 0; j < s.ncols; j++ {
+		if s.x[j] == 0 {
+			continue
+		}
+		ind, val := std.col(j)
+		for t, i := range ind {
+			r[i] -= val[t] * s.x[j]
+		}
+	}
+
+	s.artStart = s.ncols
+	s.basis = make([]int, m)
+	s.binv = make([]float64, m*m)
+	s.cost = make([]float64, s.ncols+m)
+	s.artSign = make([]float64, m)
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if r[i] < 0 {
+			sign = -1.0
+		}
+		s.artSign[i] = sign
+		a := s.artStart + i
+		s.cost[a] = 1
+
+		// Prefer the row's own slack as the starting basic variable when it
+		// can absorb the residual; this usually eliminates phase 1 entirely.
+		// Slack columns are diagonal (coefficient ±1 in their own row only),
+		// so the starting basis stays diagonal either way. Note the residual
+		// r was computed with the slack at its lower bound 0, so the slack's
+		// prospective basic value is r_i / coef.
+		sc := std.n + i
+		coef := std.values[std.colPtr[sc]] // slack columns have exactly one entry
+		want := r[i] / coef
+		if want >= std.lb[sc]-1e-12 && want <= std.ub[sc]+1e-12 {
+			s.basis[i] = sc
+			s.status[sc] = statBasic
+			s.x[sc] = want
+			s.binv[i*m+i] = coef // coef is ±1, its own inverse
+			// Artificial stays nonbasic at zero.
+			s.status[a] = statLower
+			s.x[a] = 0
+			continue
+		}
+		s.basis[i] = a
+		s.status[a] = statBasic
+		s.x[a] = math.Abs(r[i])
+		s.binv[i*m+i] = sign // B = diag(sign) so B⁻¹ = diag(sign)
+	}
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	s.rhs = make([]float64, m)
+	if s.opts.Devex {
+		s.devexW = make([]float64, s.ncols)
+		s.resetDevex()
+	}
+}
+
+// resetDevex restores the reference framework (all weights 1), done at
+// start and whenever the weights have drifted too far to be trustworthy.
+func (s *simplex) resetDevex() {
+	for j := range s.devexW {
+		s.devexW[j] = 1
+	}
+}
+
+// initialFeasible reports whether the initial point already satisfies all
+// constraints, in which case phase 1 is skipped.
+func (s *simplex) initialFeasible() bool {
+	for i := 0; i < s.m; i++ {
+		if s.x[s.artStart+i] > s.opts.TolFeas {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *simplex) phase1Objective() float64 {
+	sum := 0.0
+	for i := 0; i < s.m; i++ {
+		sum += math.Abs(s.x[s.artStart+i])
+	}
+	return sum
+}
+
+// iterate runs simplex pivots until the current-phase objective is optimal.
+func (s *simplex) iterate() Status {
+	for {
+		if s.iters >= s.opts.MaxIters {
+			return IterLimit
+		}
+		s.btran()
+		q, dq := s.price()
+		if q < 0 {
+			return Optimal
+		}
+		s.ftran(q)
+
+		sigma := 1.0 // direction of movement of x[q]
+		switch s.status[q] {
+		case statUpper:
+			sigma = -1
+		case statFree:
+			if dq > 0 {
+				sigma = -1
+			}
+		}
+
+		leave, tmax, flip := s.ratioTest(q, sigma)
+		if leave < 0 && !flip {
+			if s.phase == 1 {
+				// Phase-1 objective is bounded below by 0; an unbounded ray
+				// means numerical trouble.
+				if s.tryRecover() {
+					continue
+				}
+				return Numerical
+			}
+			return Unbounded
+		}
+
+		if tmax < s.opts.TolFeas {
+			s.degenerateRun++
+			if s.degenerateRun > 2*s.m+20 {
+				s.blandMode = true
+			}
+		} else {
+			s.degenerateRun = 0
+			if !s.opts.BlandOnly {
+				s.blandMode = false
+			}
+		}
+
+		s.applyStep(q, sigma, tmax)
+		if flip {
+			// Bound flip: q jumps to its opposite bound, basis unchanged.
+			if s.status[q] == statLower {
+				s.status[q] = statUpper
+				s.x[q] = s.std.ub[q]
+			} else {
+				s.status[q] = statLower
+				s.x[q] = s.std.lb[q]
+			}
+		} else {
+			if s.devexW != nil {
+				s.updateDevex(leave, q, s.w[leave])
+			}
+			s.pivot(leave, q)
+		}
+		s.iters++
+		s.sinceReinvert++
+		if s.sinceReinvert >= s.opts.ReinvertEvery {
+			if !s.reinvert() {
+				return Numerical
+			}
+		}
+	}
+}
+
+// tryRecover reinverts once on numerical trouble; returns true if the caller
+// should retry the iteration.
+func (s *simplex) tryRecover() bool {
+	if s.numericTrouble {
+		return false
+	}
+	s.numericTrouble = true
+	return s.reinvert()
+}
+
+// btran computes y = c_Bᵀ B⁻¹ into s.y.
+func (s *simplex) btran() {
+	m := s.m
+	y := s.y
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := s.cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*m : (i+1)*m]
+		for j, v := range row {
+			y[j] += cb * v
+		}
+	}
+}
+
+// reducedCost returns c_j - yᵀA_j using the current s.y.
+func (s *simplex) reducedCost(j int) float64 {
+	d := s.cost[j]
+	if j >= s.artStart {
+		k := j - s.artStart
+		return d - s.y[k]*s.artSign[k]
+	}
+	ind, val := s.std.col(j)
+	for t, i := range ind {
+		d -= s.y[i] * val[t]
+	}
+	return d
+}
+
+// price selects the entering column, returning (-1, 0) at optimality. Only
+// structural and slack columns are eligible; artificials never re-enter.
+// Eligibility is always judged on the raw reduced cost against TolOpt;
+// ranking among eligible columns uses Dantzig (largest violation) or, with
+// opts.Devex, the devex score d²/w.
+func (s *simplex) price() (int, float64) {
+	tol := s.opts.TolOpt
+	best := -1
+	bestScore := math.Inf(-1)
+	var bestD float64
+	for j := 0; j < s.ncols; j++ {
+		st := s.status[j]
+		if st == statBasic {
+			continue
+		}
+		if s.std.lb[j] == s.std.ub[j] {
+			continue // fixed variables can never improve
+		}
+		d := s.reducedCost(j)
+		var viol float64
+		switch st {
+		case statLower:
+			viol = -d
+		case statUpper:
+			viol = d
+		case statFree:
+			viol = math.Abs(d)
+		}
+		if viol <= tol {
+			continue
+		}
+		if s.blandMode {
+			return j, d
+		}
+		score := viol
+		if s.devexW != nil {
+			score = viol * viol / s.devexW[j]
+		}
+		if score > bestScore {
+			bestScore = score
+			best = j
+			bestD = d
+		}
+	}
+	return best, bestD
+}
+
+// updateDevex refreshes the reference weights after a pivot in row `leave`
+// with entering column q. alphaQ is the pivot element (w[leave]). The pivot
+// row of the tableau, αⱼ = (e_r B⁻¹)·Aⱼ, is computed against the pre-pivot
+// inverse, so this must run before the eta update.
+func (s *simplex) updateDevex(leave, q int, alphaQ float64) {
+	if alphaQ == 0 {
+		return
+	}
+	m := s.m
+	rowr := s.binv[leave*m : (leave+1)*m]
+	wq := s.devexW[q]
+	inv2 := 1 / (alphaQ * alphaQ)
+	maxW := 1.0
+	for j := 0; j < s.ncols; j++ {
+		if s.status[j] == statBasic || j == q {
+			continue
+		}
+		var alpha float64
+		ind, val := s.std.col(j)
+		for t, i := range ind {
+			alpha += rowr[i] * val[t]
+		}
+		if alpha == 0 {
+			continue
+		}
+		cand := alpha * alpha * inv2 * wq
+		if cand > s.devexW[j] {
+			s.devexW[j] = cand
+		}
+		if s.devexW[j] > maxW {
+			maxW = s.devexW[j]
+		}
+	}
+	// The leaving variable becomes nonbasic with weight max(wq/αq², 1).
+	out := wq * inv2
+	if out < 1 {
+		out = 1
+	}
+	s.devexW[s.basis[leave]] = out
+	// Reset the framework when weights blow up (standard devex hygiene).
+	if maxW > 1e8 {
+		s.resetDevex()
+	}
+}
+
+// ftran computes w = B⁻¹ A_q into s.w.
+func (s *simplex) ftran(q int) {
+	m := s.m
+	w := s.w
+	for i := range w {
+		w[i] = 0
+	}
+	if q >= s.artStart {
+		k := q - s.artStart
+		sign := s.artSign[k]
+		for i := 0; i < m; i++ {
+			w[i] = s.binv[i*m+k] * sign
+		}
+		return
+	}
+	ind, val := s.std.col(q)
+	for t, r := range ind {
+		v := val[t]
+		if v == 0 {
+			continue
+		}
+		ri := int(r)
+		for i := 0; i < m; i++ {
+			w[i] += s.binv[i*m+ri] * v
+		}
+	}
+}
+
+// ratioTest finds how far the entering variable q can move in direction
+// sigma. It returns the leaving row position (or -1), the step length, and
+// whether the step is a bound flip of q itself.
+func (s *simplex) ratioTest(q int, sigma float64) (leave int, tmax float64, flip bool) {
+	tolP := s.opts.TolPivot
+	tolF := s.opts.TolFeas
+	tmax = math.Inf(1)
+	leave = -1
+
+	// Bound flip distance for q.
+	lbq, ubq := s.std.lb[q], s.std.ub[q]
+	if !math.IsInf(lbq, -1) && !math.IsInf(ubq, 1) {
+		tmax = ubq - lbq
+		flip = true
+	}
+
+	for i := 0; i < s.m; i++ {
+		wi := s.w[i] * sigma
+		if math.Abs(wi) <= tolP {
+			continue
+		}
+		bcol := s.basis[i]
+		xb := s.x[bcol]
+		var t float64
+		if wi > 0 {
+			// Basic variable decreases toward its lower bound.
+			lb := s.lbOf(bcol)
+			if math.IsInf(lb, -1) {
+				continue
+			}
+			t = (xb - lb + tolF) / wi
+		} else {
+			// Basic variable increases toward its upper bound.
+			ub := s.ubOf(bcol)
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			t = (ub - xb + tolF) / (-wi)
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t < tmax {
+			tmax = t
+			leave = i
+			flip = false
+		} else if s.blandMode && leave >= 0 && !flip && t <= tmax+tolF && s.basis[i] < s.basis[leave] {
+			// Bland tie-break: among (near-)ties prefer the smallest column
+			// index, which guarantees finite termination under degeneracy.
+			leave = i
+		}
+	}
+	if leave >= 0 {
+		// Remove the tolerance slack added above to keep steps conservative.
+		wi := s.w[leave] * sigma
+		bcol := s.basis[leave]
+		xb := s.x[bcol]
+		if wi > 0 {
+			tmax = (xb - s.lbOf(bcol)) / wi
+		} else {
+			tmax = (s.ubOf(bcol) - xb) / (-wi)
+		}
+		if tmax < 0 {
+			tmax = 0
+		}
+	}
+	if math.IsInf(tmax, 1) {
+		return -1, tmax, false
+	}
+	return leave, tmax, flip
+}
+
+// applyStep moves the entering variable and all basic variables by step t.
+func (s *simplex) applyStep(q int, sigma, t float64) {
+	if t == 0 {
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		if s.w[i] == 0 {
+			continue
+		}
+		b := s.basis[i]
+		s.x[b] -= sigma * t * s.w[i]
+	}
+	s.x[q] += sigma * t
+}
+
+// pivot makes q basic in the `leave` row position and updates B⁻¹ in place
+// with a product-form (eta) transformation.
+func (s *simplex) pivot(leave, q int) {
+	m := s.m
+	out := s.basis[leave]
+	wl := s.w[leave]
+
+	// Snap the leaving variable exactly onto the bound it reached: the side
+	// is determined by which bound the ratio test hit.
+	lb, ub := s.lbOf(out), s.ubOf(out)
+	xo := s.x[out]
+	if math.Abs(xo-lb) <= math.Abs(xo-ub) || math.IsInf(ub, 1) {
+		s.status[out] = statLower
+		s.x[out] = lb
+	} else {
+		s.status[out] = statUpper
+		s.x[out] = ub
+	}
+
+	s.basis[leave] = q
+	s.status[q] = statBasic
+
+	// Eta update: row_l /= w_l, then rows i ≠ l get row_i -= w_i·row_l.
+	pivRow := s.binv[leave*m : (leave+1)*m]
+	inv := 1 / wl
+	for j := range pivRow {
+		pivRow[j] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i*m : (i+1)*m]
+		for j, v := range pivRow {
+			if v != 0 {
+				row[j] -= f * v
+			}
+		}
+	}
+}
+
+// reinvert rebuilds B⁻¹ from scratch by Gauss-Jordan elimination with
+// partial pivoting and recomputes basic values. Returns false if the basis
+// is numerically singular.
+func (s *simplex) reinvert() bool {
+	m := s.m
+	bm := make([]float64, m*m)
+	for pos, j := range s.basis {
+		if j >= s.artStart {
+			k := j - s.artStart
+			bm[k*m+pos] = s.artSign[k]
+			continue
+		}
+		ind, val := s.std.col(j)
+		for t, r := range ind {
+			bm[int(r)*m+pos] = val[t]
+		}
+	}
+	inv, ok := invertDense(bm, m)
+	if !ok {
+		return false
+	}
+	s.binv = inv
+	s.sinceReinvert = 0
+	s.recomputeBasics()
+	return true
+}
+
+// recomputeBasics recomputes x_B = B⁻¹(b - N x_N) from the current inverse,
+// clearing accumulated drift.
+func (s *simplex) recomputeBasics() {
+	m := s.m
+	r := s.rhs
+	copy(r, s.std.b)
+	for j := 0; j < s.ncols; j++ {
+		if s.status[j] == statBasic || s.x[j] == 0 {
+			continue
+		}
+		ind, val := s.std.col(j)
+		for t, i := range ind {
+			r[i] -= val[t] * s.x[j]
+		}
+	}
+	// Nonbasic artificials are always zero, so they never contribute.
+	for i := 0; i < m; i++ {
+		row := s.binv[i*m : (i+1)*m]
+		sum := 0.0
+		for k, v := range row {
+			if v != 0 {
+				sum += v * r[k]
+			}
+		}
+		s.x[s.basis[i]] = sum
+	}
+}
+
+// extract builds the Solution in the original orientation.
+func (s *simplex) extract() *Solution {
+	std := s.std
+	n := std.n
+	sol := &Solution{
+		Status:      Optimal,
+		X:           make([]float64, n),
+		Dual:        make([]float64, s.m),
+		ReducedCost: make([]float64, n),
+		Iterations:  s.iters,
+	}
+	for j := 0; j < n; j++ {
+		sol.X[j] = s.x[j]
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += std.c[j] * s.x[j] // invariant under scaling: c'·x' = c·x
+	}
+	sol.Objective = obj * std.objSign
+
+	// Duals: y from the final btran with phase-2 costs; undo the sign flip
+	// used internally when maximizing.
+	s.btran()
+	for i := 0; i < s.m; i++ {
+		sol.Dual[i] = s.y[i] * std.objSign
+	}
+	for j := 0; j < n; j++ {
+		sol.ReducedCost[j] = s.reducedCost(j) * std.objSign
+	}
+	// Unscale: x = C·x', y = R·y', d = d'/C.
+	if s.colScale != nil {
+		for j := 0; j < n; j++ {
+			sol.X[j] *= s.colScale[j]
+			sol.ReducedCost[j] /= s.colScale[j]
+		}
+		for i := 0; i < s.m; i++ {
+			sol.Dual[i] *= s.rowScale[i]
+		}
+	}
+	return sol
+}
+
+func (s *simplex) failure(st Status) *Solution {
+	n := s.std.n
+	sol := &Solution{Status: st, Iterations: s.iters, X: make([]float64, n)}
+	for j := 0; j < n && j < len(s.x); j++ {
+		sol.X[j] = s.x[j]
+	}
+	return sol
+}
+
+// invertDense inverts the m×m row-major matrix a in place via Gauss-Jordan
+// with partial pivoting, returning (inverse, true) on success. The input is
+// clobbered.
+func invertDense(a []float64, m int) ([]float64, bool) {
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		piv, pmax := -1, 0.0
+		for r := col; r < m; r++ {
+			if v := math.Abs(a[r*m+col]); v > pmax {
+				pmax = v
+				piv = r
+			}
+		}
+		if piv < 0 || pmax < 1e-12 {
+			return nil, false
+		}
+		if piv != col {
+			swapRows(a, m, piv, col)
+			swapRows(inv, m, piv, col)
+		}
+		d := 1 / a[col*m+col]
+		arow := a[col*m : (col+1)*m]
+		irow := inv[col*m : (col+1)*m]
+		for j := range arow {
+			arow[j] *= d
+		}
+		for j := range irow {
+			irow[j] *= d
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*m+col]
+			if f == 0 {
+				continue
+			}
+			ar := a[r*m : (r+1)*m]
+			ir := inv[r*m : (r+1)*m]
+			for j := range arow {
+				if arow[j] != 0 {
+					ar[j] -= f * arow[j]
+				}
+			}
+			for j := range irow {
+				if irow[j] != 0 {
+					ir[j] -= f * irow[j]
+				}
+			}
+		}
+	}
+	return inv, true
+}
+
+func swapRows(a []float64, m, r1, r2 int) {
+	row1 := a[r1*m : (r1+1)*m]
+	row2 := a[r2*m : (r2+1)*m]
+	for j := range row1 {
+		row1[j], row2[j] = row2[j], row1[j]
+	}
+}

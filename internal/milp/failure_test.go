@@ -1,0 +1,78 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pop/internal/lp"
+)
+
+func TestTimeLimitStopsSearch(t *testing.T) {
+	// A 40-item knapsack with correlated weights makes B&B work hard; a
+	// microscopic time limit must force an early exit with a usable status.
+	rng := rand.New(rand.NewSource(11))
+	p := NewProblem(lp.Maximize)
+	n := 40
+	vars := make([]int, n)
+	weights := make([]float64, n)
+	for j := 0; j < n; j++ {
+		w := 10 + rng.Float64()
+		vars[j] = p.AddBinary(w+0.5*rng.Float64(), "")
+		weights[j] = w
+	}
+	p.LP.AddConstraint(vars, weights, lp.LE, 205, "")
+	start := time.Now()
+	sol, err := p.SolveWithOptions(Options{TimeLimit: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("time limit ignored: ran %v", elapsed)
+	}
+	switch sol.Status {
+	case Optimal, Feasible, Unknown:
+	default:
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestIncumbentWarmStart(t *testing.T) {
+	p := NewProblem(lp.Maximize)
+	x := p.AddBinary(2, "x")
+	y := p.AddBinary(3, "y")
+	p.LP.AddConstraint([]int{x, y}, []float64{1, 1}, lp.LE, 1, "")
+	// Warm start with the suboptimal-but-feasible x=1.
+	sol, err := p.SolveWithOptions(Options{Incumbent: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective != 3 {
+		t.Fatalf("got %v obj=%g, want optimal 3", sol.Status, sol.Objective)
+	}
+}
+
+func TestInvalidIncumbentIgnored(t *testing.T) {
+	p := NewProblem(lp.Maximize)
+	x := p.AddBinary(2, "x")
+	y := p.AddBinary(3, "y")
+	p.LP.AddConstraint([]int{x, y}, []float64{1, 1}, lp.LE, 1, "")
+	// Infeasible (violates the constraint) and fractional warm starts must
+	// both be rejected without corrupting the search.
+	for _, inc := range [][]float64{{1, 1}, {0.5, 0}} {
+		sol, err := p.SolveWithOptions(Options{Incumbent: inc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal || sol.Objective != 3 {
+			t.Fatalf("incumbent %v: got %v obj=%g", inc, sol.Status, sol.Objective)
+		}
+	}
+}
+
+func TestEmptyMILPErrors(t *testing.T) {
+	p := NewProblem(lp.Minimize)
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("expected error for empty model")
+	}
+}

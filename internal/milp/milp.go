@@ -1,0 +1,492 @@
+// Package milp implements a mixed-integer linear-programming solver by
+// branch and bound over the LP relaxations provided by package lp.
+//
+// The search uses best-bound node selection with depth-first plunging (the
+// most recently created child is explored first until it is fathomed, then
+// the globally best-bound node is taken), most-fractional branching, and a
+// root rounding heuristic to obtain an early incumbent. Termination criteria
+// are absolute/relative gap, node limit, and wall-clock limit.
+//
+// This is what the load-balancing case study (§4.3 of the POP paper) uses:
+// its formulation is a small MILP whose exponential solve time motivates POP
+// in the first place.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"pop/internal/lp"
+)
+
+// Problem is a mixed-integer linear program: an lp.Problem plus a set of
+// integer-constrained variables.
+type Problem struct {
+	LP *lp.Problem
+
+	integer map[int]bool
+}
+
+// NewProblem wraps an LP under construction. Mark variables integral with
+// SetInteger after adding them to the underlying LP.
+func NewProblem(objective lp.Objective) *Problem {
+	return &Problem{LP: lp.NewProblem(objective), integer: map[int]bool{}}
+}
+
+// Wrap turns an existing LP (e.g. one parsed from MPS) into a MILP.
+func Wrap(p *lp.Problem, intVars []int) *Problem {
+	mp := &Problem{LP: p, integer: map[int]bool{}}
+	for _, v := range intVars {
+		mp.SetInteger(v)
+	}
+	return mp
+}
+
+// SetInteger constrains variable v to take integer values.
+func (p *Problem) SetInteger(v int) {
+	if p.integer == nil {
+		p.integer = map[int]bool{}
+	}
+	p.integer[v] = true
+}
+
+// AddBinary adds a {0,1} variable with objective coefficient c.
+func (p *Problem) AddBinary(c float64, name string) int {
+	v := p.LP.AddVariable(c, 0, 1, name)
+	p.SetInteger(v)
+	return v
+}
+
+// NumInteger reports how many variables are integer-constrained.
+func (p *Problem) NumInteger() int { return len(p.integer) }
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds explored nodes; 0 means 200000.
+	MaxNodes int
+	// TimeLimit bounds wall-clock time; 0 means no limit.
+	TimeLimit time.Duration
+	// RelGap stops when (bound-incumbent)/max(1,|incumbent|) falls below it;
+	// 0 means 1e-6.
+	RelGap float64
+	// AbsGap stops when bound-incumbent falls below it; 0 means 1e-9.
+	AbsGap float64
+	// IntTol is the integrality tolerance; 0 means 1e-6.
+	IntTol float64
+	// Incumbent optionally warm-starts the search with a known feasible
+	// point (e.g. from a domain heuristic); it is validated before use and
+	// lets the search prune aggressively from the first node.
+	Incumbent []float64
+	// LP propagates options to the relaxation solver.
+	LP lp.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.RelGap == 0 {
+		o.RelGap = 1e-6
+	}
+	if o.AbsGap == 0 {
+		o.AbsGap = 1e-9
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Status reports the outcome of a MILP solve.
+type Status int8
+
+const (
+	// Optimal means the incumbent is proven optimal within the gap.
+	Optimal Status = iota
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Unbounded means the relaxation (and hence the MILP) is unbounded.
+	Unbounded
+	// Feasible means the search stopped early (node/time limit) with an
+	// incumbent but no optimality proof.
+	Feasible
+	// Unknown means the search stopped early with no incumbent.
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Feasible:
+		return "feasible"
+	case Unknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Bound is the best proven bound on the optimum (≥ incumbent for
+	// maximization, ≤ for minimization at early exit).
+	Bound float64
+	// Gap is |Bound-Objective| / max(1, |Objective|) at exit.
+	Gap   float64
+	Nodes int
+}
+
+type node struct {
+	// Extra bounds imposed by branching, keyed by variable.
+	lb, ub map[int]float64
+	bound  float64 // parent LP objective (optimistic)
+	depth  int
+}
+
+// nodeHeap orders nodes by most promising bound (max-heap on bound for
+// maximization problems; the solver normalizes to maximization internally).
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type solver struct {
+	prob     *Problem
+	opts     Options
+	maximize bool
+	deadline time.Time
+
+	baseLB, baseUB []float64 // original bounds snapshot
+
+	incumbent    []float64
+	incumbentObj float64 // in maximization orientation
+	haveInc      bool
+
+	nodes int
+}
+
+// Solve runs branch and bound with default options.
+func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveWithOptions(Options{})
+}
+
+// SolveWithOptions runs branch and bound.
+func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
+	if p.LP.NumVariables() == 0 {
+		return nil, fmt.Errorf("milp: model has no variables")
+	}
+	s := &solver{prob: p, opts: opts.withDefaults()}
+	if s.opts.TimeLimit > 0 {
+		s.deadline = time.Now().Add(s.opts.TimeLimit)
+	}
+	return s.run()
+}
+
+// orient converts an LP objective (original orientation) into the internal
+// maximization orientation.
+func (s *solver) orient(v float64) float64 {
+	if s.maximize {
+		return v
+	}
+	return -v
+}
+
+func (s *solver) run() (*Solution, error) {
+	p := s.prob
+	s.maximize = p.LP.ObjectiveSense() == lp.Maximize
+	s.snapshotBounds()
+	defer s.restoreBounds()
+	s.incumbentObj = math.Inf(-1)
+
+	root := &node{lb: map[int]float64{}, ub: map[int]float64{}, bound: math.Inf(1)}
+	rootSol, err := s.solveRelaxation(root)
+	if err != nil {
+		return nil, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		return &Solution{Status: Infeasible}, nil
+	case lp.Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	case lp.Optimal:
+	default:
+		return &Solution{Status: Unknown}, nil
+	}
+
+	// Warm start from a caller-provided incumbent, if valid.
+	s.tryIncumbent()
+
+	// Root rounding heuristic: round the relaxation to the nearest integer
+	// point and re-solve the continuous rest with integers fixed.
+	s.tryRounding(root, rootSol)
+
+	open := &nodeHeap{}
+	heap.Init(open)
+	root.bound = s.orient(rootSol.Objective)
+	s.expandOrAccept(open, root, rootSol)
+
+	for open.Len() > 0 {
+		if s.stopEarly() {
+			return s.finish(Feasible, (*open)[0].bound), nil
+		}
+		n := heap.Pop(open).(*node)
+		if s.haveInc && n.bound <= s.incumbentObj+s.opts.AbsGap {
+			continue // fathomed by bound
+		}
+		sol, err := s.solveRelaxation(n)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible subtree (unbounded cannot appear below root)
+		}
+		n.bound = s.orient(sol.Objective)
+		if s.haveInc && n.bound <= s.incumbentObj+s.opts.AbsGap {
+			continue
+		}
+		s.expandOrAccept(open, n, sol)
+
+		if s.haveInc && s.gapClosed(open) {
+			break
+		}
+	}
+
+	bound := s.incumbentObj
+	if open.Len() > 0 {
+		bound = (*open)[0].bound
+	}
+	if !s.haveInc {
+		return &Solution{Status: Infeasible, Nodes: s.nodes}, nil
+	}
+	return s.finish(Optimal, bound), nil
+}
+
+func (s *solver) gapClosed(open *nodeHeap) bool {
+	if open.Len() == 0 {
+		return true
+	}
+	best := (*open)[0].bound
+	gap := best - s.incumbentObj
+	return gap <= s.opts.AbsGap || gap <= s.opts.RelGap*math.Max(1, math.Abs(s.incumbentObj))
+}
+
+func (s *solver) stopEarly() bool {
+	if s.nodes >= s.opts.MaxNodes {
+		return true
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// expandOrAccept either records an integer-feasible relaxation as the new
+// incumbent or branches on the most fractional variable.
+func (s *solver) expandOrAccept(open *nodeHeap, n *node, sol *lp.Solution) {
+	frac, v := s.mostFractional(sol.X)
+	if v < 0 {
+		// Integer feasible.
+		obj := s.orient(sol.Objective)
+		if obj > s.incumbentObj {
+			s.incumbentObj = obj
+			s.incumbent = append([]float64(nil), sol.X...)
+			s.haveInc = true
+		}
+		return
+	}
+	_ = frac
+	x := sol.X[v]
+	floor := math.Floor(x)
+
+	down := &node{lb: copyMap(n.lb), ub: copyMap(n.ub), bound: n.bound, depth: n.depth + 1}
+	tightenUB(down, v, floor)
+	up := &node{lb: copyMap(n.lb), ub: copyMap(n.ub), bound: n.bound, depth: n.depth + 1}
+	tightenLB(up, v, floor+1)
+
+	// Push the child whose side the fractional value leans toward last so
+	// plunging (best-bound ties broken by heap order) tends to follow it.
+	heap.Push(open, down)
+	heap.Push(open, up)
+}
+
+func tightenUB(n *node, v int, val float64) {
+	if cur, ok := n.ub[v]; !ok || val < cur {
+		n.ub[v] = val
+	}
+}
+
+func tightenLB(n *node, v int, val float64) {
+	if cur, ok := n.lb[v]; !ok || val > cur {
+		n.lb[v] = val
+	}
+}
+
+func copyMap(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// mostFractional returns (fractionality, variable) of the integer variable
+// farthest from integrality, or (0, -1) if all are integral.
+func (s *solver) mostFractional(x []float64) (float64, int) {
+	best, bestV := s.opts.IntTol, -1
+	for v := range s.prob.integer {
+		f := math.Abs(x[v] - math.Round(x[v]))
+		if f > best {
+			best = f
+			bestV = v
+		}
+	}
+	return best, bestV
+}
+
+// solveRelaxation solves the LP relaxation under the node's extra bounds.
+func (s *solver) solveRelaxation(n *node) (*lp.Solution, error) {
+	s.applyBounds(n)
+	defer s.restoreBounds()
+	s.nodes++
+	return s.prob.LP.SolveWithOptions(s.opts.LP)
+}
+
+func (s *solver) snapshotBounds() {
+	nv := s.prob.LP.NumVariables()
+	s.baseLB = make([]float64, nv)
+	s.baseUB = make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		lb, ub := s.prob.LP.Bounds(v)
+		s.baseLB[v] = lb
+		s.baseUB[v] = ub
+	}
+}
+
+func (s *solver) applyBounds(n *node) {
+	// Branching tightens lb upward and ub downward around fractional LP
+	// values inside the current domain, so lb ≤ ub always holds; the clamps
+	// below are purely defensive.
+	for v, lb := range n.lb {
+		ub := s.baseUB[v]
+		if u, ok := n.ub[v]; ok && u < ub {
+			ub = u
+		}
+		if lb > ub {
+			lb = ub
+		}
+		s.prob.LP.SetBounds(v, lb, ub)
+	}
+	for v, ub := range n.ub {
+		if _, done := n.lb[v]; done {
+			continue
+		}
+		lb := s.baseLB[v]
+		if ub < lb {
+			ub = lb
+		}
+		s.prob.LP.SetBounds(v, lb, ub)
+	}
+}
+
+func (s *solver) restoreBounds() {
+	for v := range s.baseLB {
+		s.prob.LP.SetBounds(v, s.baseLB[v], s.baseUB[v])
+	}
+}
+
+// tryIncumbent validates and installs the caller-provided warm start.
+func (s *solver) tryIncumbent() {
+	x := s.opts.Incumbent
+	if x == nil {
+		return
+	}
+	if err := s.prob.LP.CheckFeasible(x, 1e-6); err != nil {
+		return
+	}
+	for v := range s.prob.integer {
+		if math.Abs(x[v]-math.Round(x[v])) > s.opts.IntTol {
+			return
+		}
+	}
+	obj := s.orient(s.prob.LP.Value(x))
+	if obj > s.incumbentObj {
+		s.incumbentObj = obj
+		s.incumbent = append([]float64(nil), x...)
+		s.haveInc = true
+	}
+}
+
+// tryRounding rounds the root relaxation and accepts it if feasible: all
+// integer vars are fixed at rounded values and the continuous LP re-solved.
+func (s *solver) tryRounding(root *node, rootSol *lp.Solution) {
+	if len(s.prob.integer) == 0 {
+		return
+	}
+	for _, round := range []func(float64) float64{math.Round, math.Floor} {
+		fixed := &node{lb: map[int]float64{}, ub: map[int]float64{}}
+		for v := range s.prob.integer {
+			r := round(rootSol.X[v])
+			if r < s.baseLB[v] {
+				r = math.Ceil(s.baseLB[v])
+			}
+			if r > s.baseUB[v] {
+				r = math.Floor(s.baseUB[v])
+			}
+			fixed.lb[v] = r
+			fixed.ub[v] = r
+		}
+		sol, err := s.solveRelaxation(fixed)
+		if err != nil || sol.Status != lp.Optimal {
+			continue
+		}
+		obj := s.orient(sol.Objective)
+		if obj > s.incumbentObj {
+			s.incumbentObj = obj
+			s.incumbent = append([]float64(nil), sol.X...)
+			s.haveInc = true
+		}
+		return
+	}
+}
+
+func (s *solver) finish(st Status, bound float64) *Solution {
+	if !s.haveInc {
+		return &Solution{Status: Unknown, Nodes: s.nodes}
+	}
+	obj := s.incumbentObj
+	gap := math.Abs(bound-obj) / math.Max(1, math.Abs(obj))
+	if st == Optimal {
+		gap = 0
+		bound = obj
+	}
+	objOut, boundOut := obj, bound
+	if !s.maximize {
+		objOut, boundOut = -obj, -bound
+	}
+	return &Solution{
+		Status:    st,
+		Objective: objOut,
+		X:         s.incumbent,
+		Bound:     boundOut,
+		Gap:       gap,
+		Nodes:     s.nodes,
+	}
+}

@@ -1,0 +1,92 @@
+package propfair
+
+import (
+	"pop/internal/core"
+)
+
+// Method selects the underlying solver for POP sub-problems.
+type Method int8
+
+const (
+	// FrankWolfe uses the conditional-gradient solver (reference quality).
+	FrankWolfe Method = iota
+	// PriceDiscovery uses the dual subgradient solver (cheapest).
+	PriceDiscovery
+)
+
+// SolvePOP applies the POP procedure to a proportional-fairness instance:
+// jobs are partitioned randomly into k sub-problems, each sub-problem
+// receives 1/k of every resource type's capacity, sub-problems are solved
+// independently (in parallel when opts.Parallel), and the per-job
+// allocations are concatenated. Because the objective is separable per job
+// (Σ_j w_j log thr_j), the coalesced objective is the sum of sub-objectives;
+// this is the regime where POP equals one step of primal decomposition
+// (§5.2 of the paper).
+func SolvePOP(p *Problem, method Method, opts core.Options, fw FWOptions, pd PDOptions) (*Solution, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := opts.K
+	n, r := p.dims()
+
+	groups := core.Partition(n, k, opts.Strategy, opts.Seed, func(j int) float64 { return p.scale(j) })
+
+	subCap := make([]float64, r)
+	for i := range subCap {
+		subCap[i] = p.Cap[i] / float64(k)
+	}
+
+	subs := make([]*Problem, k)
+	for part, g := range groups {
+		sp := &Problem{
+			T:   make([][]float64, len(g)),
+			Cap: subCap,
+		}
+		if p.W != nil {
+			sp.W = make([]float64, len(g))
+		}
+		if p.Z != nil {
+			sp.Z = make([]float64, len(g))
+		}
+		for t, j := range g {
+			sp.T[t] = p.T[j]
+			if p.W != nil {
+				sp.W[t] = p.W[j]
+			}
+			if p.Z != nil {
+				sp.Z[t] = p.Z[j]
+			}
+		}
+		subs[part] = sp
+	}
+
+	subSols := make([]*Solution, k)
+	err := core.ParallelMap(k, opts.Parallel, func(part int) error {
+		var sol *Solution
+		var err error
+		switch method {
+		case PriceDiscovery:
+			sol, err = subs[part].SolvePriceDiscovery(pd)
+		default:
+			sol, err = subs[part].SolveFrankWolfe(fw)
+		}
+		subSols[part] = sol
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	A := make([][]float64, n)
+	iters := 0
+	for part, g := range groups {
+		iters += subSols[part].Iterations
+		for t, j := range g {
+			A[j] = subSols[part].A[t]
+		}
+	}
+	return &Solution{A: A, Objective: p.Objective(A), Iterations: iters}, nil
+}

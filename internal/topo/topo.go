@@ -1,0 +1,254 @@
+// Package topo provides WAN topologies shaped like the Internet Topology
+// Zoo graphs the POP paper evaluates on (Table 1).
+//
+// The Topology Zoo GraphML files are not redistributable inside this
+// offline repository, so each named topology is synthesized deterministically
+// with the exact node and directed-edge counts reported in Table 1 of the
+// paper: nodes are placed in the unit square, a Euclidean minimum spanning
+// tree guarantees connectivity, and the remaining links are drawn with a
+// Waxman-style preference for short distances, which reproduces the
+// geographic locality of real WANs. Link capacities are tiered and
+// negatively correlated with distance (long-haul links in these networks
+// are fewer and fatter, regional links many and thinner), and edge weights
+// are Euclidean distances.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pop/internal/graph"
+)
+
+// Spec names a topology and its Table-1 size. Edges counts directed edges
+// (each physical link is one edge per direction), matching the paper.
+type Spec struct {
+	Name  string
+	Nodes int
+	Edges int
+}
+
+// Table1 lists the WAN topologies used to benchmark POP for traffic
+// engineering, with the node/edge counts from Table 1 of the paper.
+func Table1() []Spec {
+	return []Spec{
+		{"Kdl", 754, 1790},
+		{"Cogentco", 197, 486},
+		{"UsCarrier", 158, 378},
+		{"Colt", 153, 354},
+		{"GtsCe", 149, 386},
+		{"TataNld", 145, 372},
+		{"DialtelecomCz", 138, 302},
+		{"Deltacom", 113, 322},
+	}
+}
+
+// Topology is a generated WAN: a directed capacitated graph plus node
+// coordinates (used by the NCFlow-style geographic clustering baseline).
+type Topology struct {
+	Name   string
+	G      *graph.Graph
+	Coords [][2]float64
+}
+
+// Generate synthesizes the named Table-1 topology. It panics on unknown
+// names; use GenerateSized for custom sizes.
+func Generate(name string) *Topology {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return GenerateSized(name, s.Nodes, s.Edges)
+		}
+	}
+	panic(fmt.Sprintf("topo: unknown topology %q", name))
+}
+
+// GenerateScaled synthesizes a reduced version of the named topology with
+// node and edge counts multiplied by factor (≤ 1). This keeps test and
+// benchmark runtimes manageable while preserving the topology's density.
+func GenerateScaled(name string, factor float64) *Topology {
+	for _, s := range Table1() {
+		if s.Name == name {
+			n := int(math.Max(8, math.Round(float64(s.Nodes)*factor)))
+			e := int(math.Round(float64(s.Edges) * factor))
+			if e < 2*n {
+				e = 2 * n // keep at least a bidirectional tree plus slack
+			}
+			return GenerateSized(name, n, e)
+		}
+	}
+	panic(fmt.Sprintf("topo: unknown topology %q", name))
+}
+
+// GenerateSized synthesizes a connected topology with the given number of
+// nodes and directed edges. The generation is deterministic in (name, nodes,
+// edges).
+func GenerateSized(name string, nodes, edges int) *Topology {
+	if nodes < 2 {
+		panic("topo: need at least 2 nodes")
+	}
+	links := edges / 2
+	if links < nodes-1 {
+		links = nodes - 1
+	}
+	rng := rand.New(rand.NewSource(seedFor(name, nodes, edges)))
+
+	coords := make([][2]float64, nodes)
+	for i := range coords {
+		coords[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+
+	g := graph.New(nodes)
+	type link struct{ a, b int }
+	have := map[link]bool{}
+	addLink := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || have[link{a, b}] {
+			return
+		}
+		have[link{a, b}] = true
+		d := dist(coords[a], coords[b])
+		g.AddBidirectional(a, b, capacityFor(d, rng), d+1e-3)
+	}
+
+	// Euclidean MST via Prim's algorithm: guarantees connectivity with
+	// geographically plausible short links.
+	inTree := make([]bool, nodes)
+	best := make([]float64, nodes)
+	bestFrom := make([]int, nodes)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for i := 1; i < nodes; i++ {
+		best[i] = dist(coords[0], coords[i])
+		bestFrom[i] = 0
+	}
+	for t := 1; t < nodes; t++ {
+		pick, pd := -1, math.Inf(1)
+		for i := 0; i < nodes; i++ {
+			if !inTree[i] && best[i] < pd {
+				pick, pd = i, best[i]
+			}
+		}
+		inTree[pick] = true
+		addLink(pick, bestFrom[pick])
+		for i := 0; i < nodes; i++ {
+			if !inTree[i] {
+				if d := dist(coords[pick], coords[i]); d < best[i] {
+					best[i] = d
+					bestFrom[i] = pick
+				}
+			}
+		}
+	}
+
+	// Waxman-style extra links: sample pairs, accept short ones more often.
+	const alpha = 0.12
+	attempts := 0
+	for len(have) < links && attempts < links*200 {
+		attempts++
+		a := rng.Intn(nodes)
+		b := rng.Intn(nodes)
+		if a == b {
+			continue
+		}
+		d := dist(coords[a], coords[b])
+		if rng.Float64() < math.Exp(-d/alpha) {
+			addLink(a, b)
+		}
+	}
+	// If the Waxman acceptance stalls (tiny alpha vs. spread-out nodes),
+	// fall back to nearest unconnected pairs.
+	for len(have) < links {
+		a := rng.Intn(nodes)
+		bestB, bd := -1, math.Inf(1)
+		for b := 0; b < nodes; b++ {
+			if b == a {
+				continue
+			}
+			la, lb := a, b
+			if la > lb {
+				la, lb = lb, la
+			}
+			if have[link{la, lb}] {
+				continue
+			}
+			if d := dist(coords[a], coords[b]); d < bd {
+				bestB, bd = b, d
+			}
+		}
+		if bestB < 0 {
+			break // complete graph reached
+		}
+		addLink(a, bestB)
+	}
+
+	return &Topology{Name: name, G: g, Coords: coords}
+}
+
+func dist(a, b [2]float64) float64 {
+	dx, dy := a[0]-b[0], a[1]-b[1]
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// capacityFor assigns a tiered link capacity. Short regional links get lower
+// tiers, long-haul links higher tiers, with some randomness, mirroring the
+// capacity heterogeneity of Topology Zoo annotations.
+func capacityFor(d float64, rng *rand.Rand) float64 {
+	tiers := []float64{10, 40, 100, 400}
+	var base float64
+	switch {
+	case d < 0.05:
+		base = tiers[rng.Intn(2)]
+	case d < 0.15:
+		base = tiers[rng.Intn(3)]
+	default:
+		base = tiers[1+rng.Intn(3)]
+	}
+	return base
+}
+
+// seedFor derives a stable seed from the generation parameters (FNV-1a).
+func seedFor(name string, nodes, edges int) int64 {
+	h := uint64(1469598103934665603)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(name); i++ {
+		mix(name[i])
+	}
+	for _, v := range []int{nodes, edges} {
+		for s := 0; s < 64; s += 8 {
+			mix(byte(v >> s))
+		}
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// TotalCapacity sums the capacity over all directed edges.
+func (t *Topology) TotalCapacity() float64 {
+	sum := 0.0
+	for _, e := range t.G.Edges {
+		sum += e.Capacity
+	}
+	return sum
+}
+
+// Tiny returns a small hand-built topology for unit tests: a 2x3 grid with
+// uniform capacities. Deterministic and easy to reason about.
+func Tiny() *Topology {
+	//  0 - 1 - 2
+	//  |   |   |
+	//  3 - 4 - 5
+	g := graph.New(6)
+	pairs := [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {0, 3}, {1, 4}, {2, 5}}
+	for _, p := range pairs {
+		g.AddBidirectional(p[0], p[1], 10, 1)
+	}
+	coords := [][2]float64{{0, 0}, {0.5, 0}, {1, 0}, {0, 1}, {0.5, 1}, {1, 1}}
+	return &Topology{Name: "Tiny", G: g, Coords: coords}
+}

@@ -1,0 +1,147 @@
+// Package pop is the public API of this repository: a Go implementation of
+// POP — Partitioned Optimization Problems (Narayanan et al., SOSP 2021) —
+// for solving large granular resource-allocation problems quickly.
+//
+// POP splits a large allocation problem into k sub-problems, each holding a
+// random subset of the clients and 1/k of the resources, solves every
+// sub-problem with the unchanged original formulation (in parallel), and
+// coalesces the sub-allocations. On granular problems (many clients, each
+// requesting a small resource share, fungible resources) the result is
+// within a few percent of optimal at a fraction of the runtime.
+//
+// This package exposes the domain-independent machinery:
+//
+//   - Options, Strategy, Partition: client partitioning,
+//   - SplitClients (Algorithm 2) and SplitResource: granularization,
+//   - Solve: the generic partition → map → reduce runner,
+//   - ParallelMap, Gather, EvenSplit: building blocks for custom adapters.
+//
+// Complete case-study adapters (traffic engineering, cluster scheduling,
+// shard load balancing), the LP/MILP solvers they are built on, and the
+// benchmark harness for every figure in the paper live under internal/; the
+// examples/ directory shows both styles of use.
+package pop
+
+import (
+	"pop/internal/core"
+)
+
+// Options bundles the standard POP knobs; see core.Options.
+type Options = core.Options
+
+// Strategy selects how clients are assigned to sub-problems.
+type Strategy = core.Strategy
+
+// Partitioning strategies.
+const (
+	// Random is POP's default: shuffle clients, deal round-robin.
+	Random = core.Random
+	// PowerOfTwo assigns each client to the better of two random
+	// sub-problems.
+	PowerOfTwo = core.PowerOfTwo
+	// Skewed deliberately concentrates similar clients (a bad partition,
+	// for ablations).
+	Skewed = core.Skewed
+	// RoundRobin deals clients in index order (deterministic).
+	RoundRobin = core.RoundRobin
+)
+
+// VirtualClient tags a (possibly split) client with its original index.
+type VirtualClient[C any] = core.VirtualClient[C]
+
+// Partition assigns n clients to k sub-problems; see core.Partition.
+func Partition(n, k int, strategy Strategy, seed int64, load func(i int) float64) [][]int {
+	return core.Partition(n, k, strategy, seed, load)
+}
+
+// SplitClients is Algorithm 2 of the paper: repeatedly halve the largest
+// client by its splitting attribute until (1+t)·n virtual clients exist.
+func SplitClients[C any](clients []C, t float64, load func(C) float64, split func(C) (C, C)) []VirtualClient[C] {
+	return core.SplitClients(clients, t, load, split)
+}
+
+// SplitResource gives every sub-problem a copy of each resource at 1/k
+// capacity (the paper's resource splitting).
+func SplitResource[R any](resources []R, k int, scale func(r R, k int) R) [][]R {
+	return core.SplitResource(resources, k, scale)
+}
+
+// Gather materializes client subsets selected by Partition's index groups.
+func Gather[T any](items []T, groups [][]int) [][]T {
+	return core.Gather(items, groups)
+}
+
+// EvenSplit divides m indistinguishable resource units across k
+// sub-problems as evenly as possible.
+func EvenSplit(m, k int) []int {
+	return core.EvenSplit(m, k)
+}
+
+// ParallelMap runs f(part) for part in [0,k), concurrently when parallel.
+func ParallelMap(k int, parallel bool, f func(part int) error) error {
+	return core.ParallelMap(k, parallel, f)
+}
+
+// Problem describes a granular allocation problem to the generic Solve
+// runner. Clients are partitioned per Options; Resources are either split
+// (each sub-problem sees every resource at 1/k capacity, when ScaleResource
+// is set) or partitioned evenly round-robin.
+type Problem[C, R, A any] struct {
+	Clients   []C
+	Resources []R
+
+	// ClientLoad reads the partition-balancing attribute (may be nil).
+	ClientLoad func(C) float64
+
+	// ScaleResource, when non-nil, enables resource splitting: it must
+	// return a copy of r with capacity divided by k.
+	ScaleResource func(r R, k int) R
+
+	// SolveSub solves one sub-problem over the given client and resource
+	// subsets. part identifies the sub-problem.
+	SolveSub func(clients []C, resources []R, part int) (A, error)
+
+	// Coalesce reduces the k sub-allocations into one. groups[p] lists the
+	// original client indices assigned to sub-problem p.
+	Coalesce func(allocs []A, groups [][]int) (A, error)
+}
+
+// Solve runs the POP procedure: partition clients, split or partition
+// resources, map (optionally in parallel), and reduce.
+func Solve[C, R, A any](p Problem[C, R, A], opts Options) (A, error) {
+	var zero A
+	if err := opts.Validate(); err != nil {
+		return zero, err
+	}
+	if p.SolveSub == nil || p.Coalesce == nil {
+		panic("pop: Problem requires SolveSub and Coalesce")
+	}
+	k := opts.K
+	load := p.ClientLoad
+	var loadFn func(int) float64
+	if load != nil {
+		loadFn = func(i int) float64 { return load(p.Clients[i]) }
+	}
+	groups := core.Partition(len(p.Clients), k, opts.Strategy, opts.Seed, loadFn)
+	k = len(groups)
+	clientSets := core.Gather(p.Clients, groups)
+
+	var resourceSets [][]R
+	if p.ScaleResource != nil {
+		resourceSets = core.SplitResource(p.Resources, k, p.ScaleResource)
+	} else {
+		rGroups := core.Partition(len(p.Resources), k, core.RoundRobin, opts.Seed, nil)
+		resourceSets = core.Gather(p.Resources, rGroups)
+	}
+
+	allocs := make([]A, k)
+	err := core.ParallelMap(k, opts.Parallel, func(part int) error {
+		a, err := p.SolveSub(clientSets[part], resourceSets[part], part)
+		allocs[part] = a
+		return err
+	})
+	if err != nil {
+		return zero, err
+	}
+	return p.Coalesce(allocs, groups)
+}
