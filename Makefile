@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test test-short vet fmt-check bench-lp bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench-lp regenerates BENCH_lp.json, the LP backend perf trajectory
+# (Dense vs SparseLU on te/cluster/lb-shaped instances at three sizes).
+bench-lp:
+	$(GO) run ./cmd/lpbench -reps 3 -o BENCH_lp.json
+
+# bench runs the paper-evaluation benchmark suite at Small scale.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+ci: fmt-check vet build test-short

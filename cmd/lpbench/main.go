@@ -1,0 +1,119 @@
+// Command lpbench times the lp solver's Dense and SparseLU backends on the
+// case-study-shaped instances from internal/lp/gen and writes a JSON
+// regression record (BENCH_lp.json via `make bench-lp`), so every PR has a
+// perf trajectory to compare against.
+//
+// Usage:
+//
+//	lpbench [-o BENCH_lp.json] [-reps 3] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"pop/internal/lp"
+	"pop/internal/lp/gen"
+)
+
+type record struct {
+	Instance   string  `json:"instance"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	Nonzeros   int     `json:"nonzeros"`
+	DenseNs    int64   `json:"dense_ns"`
+	SparseLUNs int64   `json:"sparselu_ns"`
+	Speedup    float64 `json:"speedup"`
+	Objective  float64 `json:"objective"`
+	ObjAgree   bool    `json:"objectives_agree"`
+	Iterations int     `json:"iterations_sparselu"`
+}
+
+type report struct {
+	GeneratedAt string   `json:"generated_at"`
+	Seed        int64    `json:"seed"`
+	Reps        int      `json:"reps"`
+	Records     []record `json:"records"`
+}
+
+func main() {
+	var (
+		out  = flag.String("o", "BENCH_lp.json", "output file ('-' for stdout)")
+		reps = flag.Int("reps", 3, "timed repetitions per backend (best is kept)")
+		seed = flag.Int64("seed", 1, "instance generator seed")
+	)
+	flag.Parse()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        *seed,
+		Reps:        *reps,
+	}
+	for _, in := range gen.All(*seed) {
+		r := record{
+			Instance: in.Name(),
+			Rows:     in.P.NumConstraints(),
+			Cols:     in.P.NumVariables(),
+			Nonzeros: in.P.NumNonzeros(),
+		}
+		var dObj, sObj float64
+		r.DenseNs, dObj, _ = timeSolve(in.P, lp.Dense, *reps)
+		r.SparseLUNs, sObj, r.Iterations = timeSolve(in.P, lp.SparseLU, *reps)
+		r.Objective = sObj
+		r.ObjAgree = approxEq(dObj, sObj, 1e-6)
+		if r.SparseLUNs > 0 {
+			r.Speedup = float64(r.DenseNs) / float64(r.SparseLUNs)
+		}
+		fmt.Fprintf(os.Stderr, "%-16s rows=%-5d dense=%-12v sparselu=%-12v speedup=%.2fx agree=%v\n",
+			r.Instance, r.Rows, time.Duration(r.DenseNs), time.Duration(r.SparseLUNs), r.Speedup, r.ObjAgree)
+		rep.Records = append(rep.Records, r)
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// timeSolve returns the best wall time over reps solves, plus the objective
+// and iteration count for cross-checking.
+func timeSolve(p *lp.Problem, b lp.SolverBackend, reps int) (ns int64, obj float64, iters int) {
+	best := int64(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		sol, err := p.SolveWithOptions(lp.Options{Backend: b})
+		el := time.Since(start).Nanoseconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpbench: %v backend failed: %v\n", b, err)
+			os.Exit(1)
+		}
+		if sol.Status != lp.Optimal {
+			fmt.Fprintf(os.Stderr, "lpbench: %v backend failed: status=%v\n", b, sol.Status)
+			os.Exit(1)
+		}
+		if el < best {
+			best = el
+		}
+		obj = sol.Objective
+		iters = sol.Iterations
+	}
+	return best, obj, iters
+}
+
+func approxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}

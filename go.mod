@@ -1,0 +1,3 @@
+module pop
+
+go 1.24

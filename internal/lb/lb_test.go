@@ -59,6 +59,9 @@ func TestMILPBeatsGreedyOnMovements(t *testing.T) {
 }
 
 func TestPOPFeasibleAndCheaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact MILP reference solve is slow; skipped with -short")
+	}
 	inst := NewInstance(24, 6, 0.1, 7)
 	inst.ShiftLoads(8)
 	a, err := SolvePOP(inst, core.Options{K: 3, Seed: 2, Parallel: true}, milp.Options{MaxNodes: 20000})

@@ -11,16 +11,46 @@
 //     [0,0] so the basis machinery stays uniform).
 //   - Phase 1 starts from an all-artificial basis and minimizes the sum of
 //     infeasibilities; phase 2 optimizes the real objective.
-//   - The constraint matrix is stored column-wise and sparse; the basis
-//     inverse is a dense m×m matrix maintained with product-form (eta)
-//     updates and rebuilt by Gauss-Jordan elimination when numerical drift
-//     is detected or after a fixed number of pivots.
+//   - The constraint matrix is stored column-wise and sparse; the basis is
+//     maintained behind the basisFactor interface by one of two backends
+//     (see below), selected with Options.Backend.
 //   - Pricing is Dantzig (most-negative reduced cost) with an automatic
 //     switch to Bland's rule after a run of degenerate pivots, which
-//     guarantees termination.
+//     guarantees termination; Options.Devex enables devex pricing.
 //   - The ratio test handles variable bound flips, so boxed variables (the
 //     common case in allocation problems, where 0 ≤ A ≤ 1) never enter the
 //     basis just to move between their bounds.
+//
+// # Basis backends
+//
+// SparseLU (the default) factorizes the basis as P·B·Q = L·U with
+// left-looking sparse Gaussian elimination: columns are processed
+// sparsest-first and the pivot row is chosen by threshold partial pivoting
+// (candidates within 10× of the column's largest magnitude, preferring the
+// row with the fewest nonzeros) — an approximate Markowitz ordering that
+// keeps fill low on the extremely sparse bases granular allocation LPs
+// produce. Each simplex pivot then appends a product-form eta term (the
+// entering column's ftran, split into pivot and off-pivot nonzeros) instead
+// of modifying the factors, so ftran/btran are sparse triangular solves
+// through L, U, and the eta file, and per-iteration cost tracks basis fill
+// rather than m². The factorization is rebuilt from scratch after
+// Options.ReinvertEvery pivots, when the eta file's fill outgrows its
+// budget, or when an update pivot is too small to absorb stably.
+//
+// Dense is the reference backend: an explicit dense m×m basis inverse
+// updated by rank-1 eta transformations and rebuilt by Gauss-Jordan
+// elimination with partial pivoting. It is O(m²) per iteration and O(m³)
+// per rebuild, but numerically transparent; the cross-backend equivalence
+// suite (equivalence_test.go) holds both backends to identical statuses and
+// objectives within 1e-6 on fixture and randomized models.
+//
+// Fallback policy: if the sparse factorization finds the basis singular or
+// rejects an update pivot, the solve refactorizes; if that fails it switches
+// to the dense backend mid-solve; and if a SparseLU solve still ends in
+// numerical failure, SolveWithOptions re-solves once from scratch with
+// Dense. AutoBackend (the Options zero value) resolves to SparseLU, so
+// every caller gets the fast path without opting in; SetDefaultBackend
+// rebinds it process-wide (cmd/popbench -backend).
 //
 // The solver reports primal values, row duals, reduced costs, and a status
 // (Optimal, Infeasible, Unbounded, IterLimit, Numerical). It is deterministic:

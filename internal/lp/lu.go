@@ -1,0 +1,346 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// luFactor is the sparse basis backend: B is factorized as P·B·Q = L·U by
+// left-looking sparse Gaussian elimination with a Markowitz-style ordering
+// (columns processed sparsest-first, threshold partial pivoting preferring
+// low-count rows), and each subsequent simplex pivot appends a product-form
+// eta term instead of touching the factors. ftran/btran are sparse
+// triangular solves through L, U, and the eta file.
+//
+// On granular allocation LPs the basis columns hold only a handful of
+// nonzeros each, so per-iteration solve time scales with factor fill rather
+// than denseFactor's m². Refactorization keeps an O(m²) symbolic scan (the
+// left-looking sweep and pivot search touch every row per column) but with
+// a trivial constant — far below dense Gauss-Jordan's m³ flops.
+type luFactor struct {
+	s *simplex
+	m int
+
+	// Factorization of the basis at the last refactor. Elimination step t
+	// pivots on original row pr[t] and eliminates the column at basis
+	// position cperm[t]. lcols[t] holds the below-pivot multipliers of L
+	// column t as (original row, value); the unit diagonal is implicit.
+	// ucols[t] holds the above-diagonal entries of U column t as
+	// (elimination step j < t, value); udiag[t] is the pivot.
+	lcols [][]luEntry
+	ucols [][]luEntry
+	udiag []float64
+	pr    []int
+	cperm []int
+
+	// Product-form updates since the last refactor, oldest first.
+	etas   []etaTerm
+	etaNnz int
+
+	// Scratch: x is row-space (all zeros between calls), g and pos are
+	// elimination/position-space, elim maps original row -> elimination
+	// step (-1 while unpivoted during factor). artInd/artVal back the
+	// one-entry column returned by basisCol for artificials.
+	x, g, pos []float64
+	elim      []int
+	artInd    [1]int32
+	artVal    [1]float64
+}
+
+type luEntry struct {
+	idx int32
+	val float64
+}
+
+// etaTerm records one pivot: the entering column's ftran w, split into the
+// pivot element w[r] and the remaining nonzeros.
+type etaTerm struct {
+	r    int
+	piv  float64
+	ents []luEntry
+}
+
+func newLUFactor(s *simplex) *luFactor {
+	m := s.m
+	return &luFactor{
+		s: s, m: m,
+		x: make([]float64, m), g: make([]float64, m), pos: make([]float64, m),
+		elim: make([]int, m),
+	}
+}
+
+// basisCol returns the sparse column of the basis occupying position pos.
+func (f *luFactor) basisCol(pos int) ([]int32, []float64) {
+	s := f.s
+	j := s.basis[pos]
+	if j >= s.artStart {
+		k := j - s.artStart
+		f.artInd[0] = int32(k)
+		f.artVal[0] = s.artSign[k]
+		return f.artInd[:], f.artVal[:]
+	}
+	return s.std.col(j)
+}
+
+func (f *luFactor) refactor() bool {
+	m := f.m
+	f.etas = f.etas[:0]
+	f.etaNnz = 0
+	if f.lcols == nil {
+		f.lcols = make([][]luEntry, m)
+		f.ucols = make([][]luEntry, m)
+		f.udiag = make([]float64, m)
+		f.pr = make([]int, m)
+		f.cperm = make([]int, m)
+	}
+
+	// Column order: ascending nonzero count (approximate Markowitz), ties
+	// by position for determinism. Row counts feed the pivot tie-break.
+	order := make([]int, m)
+	colNnz := make([]int, m)
+	rowCount := make([]int, m)
+	for pos := 0; pos < m; pos++ {
+		order[pos] = pos
+		ind, _ := f.basisCol(pos)
+		colNnz[pos] = len(ind)
+		for _, r := range ind {
+			rowCount[r]++
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if colNnz[order[a]] != colNnz[order[b]] {
+			return colNnz[order[a]] < colNnz[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	x := f.x
+	for i := range f.elim {
+		f.elim[i] = -1
+	}
+	for t := 0; t < m; t++ {
+		pos := order[t]
+		ind, val := f.basisCol(pos)
+		for k, r := range ind {
+			x[r] = val[k]
+		}
+
+		// Left-looking update: apply every earlier elimination step whose
+		// pivot row currently carries a nonzero. Fill lands only on pivot
+		// rows of later steps, so one ascending scan suffices.
+		ucol := f.ucols[t][:0]
+		for j := 0; j < t; j++ {
+			xj := x[f.pr[j]]
+			if xj == 0 {
+				continue
+			}
+			ucol = append(ucol, luEntry{int32(j), xj})
+			x[f.pr[j]] = 0 // consumed into U
+			for _, e := range f.lcols[j] {
+				x[e.idx] -= e.val * xj
+			}
+		}
+
+		// Threshold partial pivoting among unpivoted rows: candidates
+		// within 10× of the largest magnitude, preferring the row with the
+		// fewest static nonzeros (Markowitz tie-break), then the smallest
+		// index for determinism.
+		vmax := 0.0
+		for i := 0; i < m; i++ {
+			if f.elim[i] >= 0 {
+				continue
+			}
+			if v := math.Abs(x[i]); v > vmax {
+				vmax = v
+			}
+		}
+		if vmax < 1e-12 {
+			// Singular: zero out scratch before failing.
+			for i := range x {
+				x[i] = 0
+			}
+			f.ucols[t] = ucol
+			return false
+		}
+		piv := -1
+		for i := 0; i < m; i++ {
+			if f.elim[i] >= 0 || math.Abs(x[i]) < 0.1*vmax {
+				continue
+			}
+			if piv < 0 || rowCount[i] < rowCount[piv] {
+				piv = i
+			}
+		}
+
+		d := x[piv]
+		lcol := f.lcols[t][:0]
+		for i := 0; i < m; i++ {
+			if i == piv || f.elim[i] >= 0 || x[i] == 0 {
+				continue
+			}
+			lcol = append(lcol, luEntry{int32(i), x[i] / d})
+			x[i] = 0
+		}
+		x[piv] = 0
+		f.elim[piv] = t
+		f.pr[t] = piv
+		f.cperm[t] = pos
+		f.udiag[t] = d
+		f.lcols[t] = lcol
+		f.ucols[t] = ucol
+	}
+	return true
+}
+
+// solveLU solves B₀ x = v for the refactored basis (ignoring etas): v enters
+// in row space and leaves in position space.
+func (f *luFactor) solveLU(v []float64) {
+	m := f.m
+	g := f.g
+	// Forward: L y = v.
+	for t := 0; t < m; t++ {
+		yt := v[f.pr[t]]
+		g[t] = yt
+		if yt != 0 {
+			for _, e := range f.lcols[t] {
+				v[e.idx] -= e.val * yt
+			}
+		}
+	}
+	// Backward: U z = y (column-oriented).
+	for t := m - 1; t >= 0; t-- {
+		zt := g[t] / f.udiag[t]
+		g[t] = zt
+		if zt != 0 {
+			for _, e := range f.ucols[t] {
+				g[e.idx] -= e.val * zt
+			}
+		}
+	}
+	// Scatter into position space.
+	for t := 0; t < m; t++ {
+		f.pos[f.cperm[t]] = g[t]
+	}
+	copy(v, f.pos)
+}
+
+// solveLUT solves B₀ᵀ y = c: c enters in position space and leaves in row
+// space.
+func (f *luFactor) solveLUT(c []float64) {
+	m := f.m
+	g := f.g
+	for t := 0; t < m; t++ {
+		g[t] = c[f.cperm[t]]
+	}
+	// Forward: Uᵀ g' = g.
+	for t := 0; t < m; t++ {
+		acc := g[t]
+		for _, e := range f.ucols[t] {
+			acc -= e.val * g[e.idx]
+		}
+		g[t] = acc / f.udiag[t]
+	}
+	// Backward: Lᵀ y = g'. L column t touches only rows pivoted later, so
+	// a descending sweep resolves every dependency.
+	for t := m - 1; t >= 0; t-- {
+		acc := g[t]
+		for _, e := range f.lcols[t] {
+			acc -= e.val * c[e.idx]
+		}
+		c[f.pr[t]] = acc
+	}
+}
+
+// applyEtasFtran applies E_k⁻¹…E_1⁻¹ in chronological order to the
+// position-space vector v.
+func (f *luFactor) applyEtasFtran(v []float64) {
+	for i := range f.etas {
+		e := &f.etas[i]
+		vr := v[e.r]
+		if vr == 0 {
+			continue
+		}
+		vr /= e.piv
+		v[e.r] = vr
+		for _, t := range e.ents {
+			v[t.idx] -= t.val * vr
+		}
+	}
+}
+
+// applyEtasBtran applies E_1⁻ᵀ…E_k⁻ᵀ in reverse chronological order to the
+// position-space vector c. Only component r changes per eta.
+func (f *luFactor) applyEtasBtran(c []float64) {
+	for i := len(f.etas) - 1; i >= 0; i-- {
+		e := &f.etas[i]
+		acc := c[e.r]
+		for _, t := range e.ents {
+			acc -= t.val * c[t.idx]
+		}
+		c[e.r] = acc / e.piv
+	}
+}
+
+func (f *luFactor) ftranDense(v []float64) {
+	f.solveLU(v)
+	f.applyEtasFtran(v)
+}
+
+func (f *luFactor) ftranCol(q int, w []float64) {
+	s := f.s
+	x := f.x
+	if q >= s.artStart {
+		k := q - s.artStart
+		x[k] = s.artSign[k]
+	} else {
+		ind, val := s.std.col(q)
+		for t, r := range ind {
+			x[r] = val[t]
+		}
+	}
+	copy(w, x)
+	for i := range x {
+		x[i] = 0
+	}
+	f.ftranDense(w)
+}
+
+func (f *luFactor) btranCost(y []float64) {
+	s := f.s
+	for i := 0; i < f.m; i++ {
+		y[i] = s.cost[s.basis[i]]
+	}
+	f.applyEtasBtran(y)
+	f.solveLUT(y)
+}
+
+func (f *luFactor) btranUnit(r int, z []float64) {
+	for i := range z {
+		z[i] = 0
+	}
+	z[r] = 1
+	f.applyEtasBtran(z)
+	f.solveLUT(z)
+}
+
+func (f *luFactor) update(leave int, w []float64) bool {
+	piv := w[leave]
+	if math.Abs(piv) < 1e-11 {
+		return false
+	}
+	ents := make([]luEntry, 0, 8)
+	for i, v := range w {
+		if v != 0 && i != leave {
+			ents = append(ents, luEntry{int32(i), v})
+		}
+	}
+	f.etas = append(f.etas, etaTerm{r: leave, piv: piv, ents: ents})
+	f.etaNnz += len(ents) + 1
+	return true
+}
+
+// wantRefactor triggers an early refactorization once the eta file's fill
+// outweighs the cost of refactoring (solve cost grows linearly with it).
+func (f *luFactor) wantRefactor() bool {
+	return f.etaNnz > 10*f.m+1000
+}

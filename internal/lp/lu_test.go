@@ -1,0 +1,242 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// solvedLU runs a SparseLU solve to completion and hands back the simplex
+// with its final basis factorization (which has seen refactorizations and
+// eta updates along the way).
+func solvedLU(t *testing.T, rng *rand.Rand, m, n int, opts Options) (*simplex, *luFactor) {
+	t.Helper()
+	p := randomFeasibleLP(rng, m, n)
+	opts.Backend = SparseLU
+	s := newSimplex(p, opts)
+	sol := s.solve()
+	if sol.Status != Optimal {
+		t.Fatalf("setup solve status %v", sol.Status)
+	}
+	f, ok := s.bas.(*luFactor)
+	if !ok {
+		t.Fatalf("backend fell back to dense during a benign solve")
+	}
+	return s, f
+}
+
+// mulBasis computes r = B·w for the current basis (w in position space,
+// r in row space).
+func mulBasis(f *luFactor, w []float64) []float64 {
+	r := make([]float64, f.m)
+	for pos := 0; pos < f.m; pos++ {
+		if w[pos] == 0 {
+			continue
+		}
+		ind, val := f.basisCol(pos)
+		for t, i := range ind {
+			r[i] += val[t] * w[pos]
+		}
+	}
+	return r
+}
+
+// mulBasisT computes c = Bᵀ·y (y in row space, c in position space).
+func mulBasisT(f *luFactor, y []float64) []float64 {
+	c := make([]float64, f.m)
+	for pos := 0; pos < f.m; pos++ {
+		ind, val := f.basisCol(pos)
+		sum := 0.0
+		for t, i := range ind {
+			sum += val[t] * y[i]
+		}
+		c[pos] = sum
+	}
+	return c
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// TestLUFtranRoundTrip: B·(B⁻¹ a_q) must reproduce a_q for structural,
+// slack, and artificial columns, through both the fresh factors and the
+// accumulated eta file.
+func TestLUFtranRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		// Small ReinvertEvery so the final factorization carries etas.
+		s, f := solvedLU(t, rng, 10+rng.Intn(10), 16+rng.Intn(16), Options{ReinvertEvery: 7})
+		w := make([]float64, s.m)
+		for q := 0; q < s.ncols+s.m; q += 1 + rng.Intn(3) {
+			f.ftranCol(q, w)
+			got := mulBasis(f, w)
+			want := make([]float64, s.m)
+			if q >= s.artStart {
+				want[q-s.artStart] = s.artSign[q-s.artStart]
+			} else {
+				ind, val := s.std.col(q)
+				for t2, i := range ind {
+					want[i] = val[t2]
+				}
+			}
+			if d := maxAbsDiff(got, want); d > 1e-8 {
+				t.Fatalf("trial %d col %d: ftran round-trip residual %g", trial, q, d)
+			}
+		}
+	}
+}
+
+// TestLUBtranRoundTrip: Bᵀ·(B⁻ᵀ c) must reproduce c for the phase cost
+// vector and for unit vectors (the devex pivot-row solve).
+func TestLUBtranRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 8; trial++ {
+		s, f := solvedLU(t, rng, 10+rng.Intn(10), 16+rng.Intn(16), Options{ReinvertEvery: 7})
+		y := make([]float64, s.m)
+		f.btranCost(y)
+		got := mulBasisT(f, y)
+		want := make([]float64, s.m)
+		for i := 0; i < s.m; i++ {
+			want[i] = s.cost[s.basis[i]]
+		}
+		if d := maxAbsDiff(got, want); d > 1e-8 {
+			t.Fatalf("trial %d: btranCost round-trip residual %g", trial, d)
+		}
+		z := make([]float64, s.m)
+		for r := 0; r < s.m; r++ {
+			f.btranUnit(r, z)
+			got := mulBasisT(f, z)
+			want := make([]float64, s.m)
+			want[r] = 1
+			if d := maxAbsDiff(got, want); d > 1e-8 {
+				t.Fatalf("trial %d: btranUnit(%d) round-trip residual %g", trial, r, d)
+			}
+		}
+	}
+}
+
+// TestLURefactorResidualInvariant: refactorizing must not move the basic
+// solution — the eta-composed factorization and a fresh LU agree on
+// x_B = B⁻¹(b - N x_N) to tight tolerance, and the refactored basis
+// reproduces the right-hand side.
+func TestLURefactorResidualInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		s, f := solvedLU(t, rng, 12+rng.Intn(8), 20+rng.Intn(12), Options{ReinvertEvery: 9})
+		xbBefore := make([]float64, s.m)
+		for i, j := range s.basis {
+			xbBefore[i] = s.x[j]
+		}
+		if !s.reinvert() {
+			t.Fatalf("trial %d: refactor failed on a solved basis", trial)
+		}
+		if len(f.etas) != 0 {
+			t.Fatalf("trial %d: refactor left %d etas", trial, len(f.etas))
+		}
+		xbAfter := make([]float64, s.m)
+		for i, j := range s.basis {
+			xbAfter[i] = s.x[j]
+		}
+		if d := maxAbsDiff(xbBefore, xbAfter); d > 1e-7 {
+			t.Fatalf("trial %d: refactor moved basics by %g", trial, d)
+		}
+		// Residual of the linear system the basics claim to solve.
+		r := make([]float64, s.m)
+		copy(r, s.std.b)
+		for j := 0; j < s.ncols; j++ {
+			if s.status[j] == statBasic || s.x[j] == 0 {
+				continue
+			}
+			ind, val := s.std.col(j)
+			for t2, i := range ind {
+				r[i] -= val[t2] * s.x[j]
+			}
+		}
+		bx := mulBasis(f, xbAfter)
+		if d := maxAbsDiff(bx, r); d > 1e-7 {
+			t.Fatalf("trial %d: ‖B·x_B - (b - N·x_N)‖∞ = %g", trial, d)
+		}
+	}
+}
+
+// TestLUSingularBasisFailsAndFallsBack: a structurally singular basis must
+// be rejected by the LU factorization, and reinvert must at least attempt
+// the dense fallback path.
+func TestLUSingularBasisFailsAndFallsBack(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable(1, 0, 10, "x")
+	y := p.AddVariable(1, 0, 10, "y")
+	p.AddConstraint([]int{x, y}, []float64{1, 1}, LE, 6, "")
+	p.AddConstraint([]int{x, y}, []float64{2, 2}, LE, 12, "")
+	s := newSimplex(p, Options{Backend: SparseLU}.withDefaults(2, 4))
+	s.initPhase1()
+	// Force the same structural column into both basis positions.
+	s.basis[0], s.basis[1] = x, x
+	f := s.bas.(*luFactor)
+	if f.refactor() {
+		t.Fatal("LU accepted a singular basis")
+	}
+	if s.reinvert() {
+		t.Fatal("reinvert succeeded on a singular basis")
+	}
+	if !s.fellBack {
+		t.Fatal("reinvert did not attempt the dense fallback")
+	}
+	if _, dense := s.bas.(*denseFactor); !dense {
+		t.Fatal("backend not switched to dense after LU failure")
+	}
+}
+
+// TestLUReinvertCadenceAgrees mirrors TestReinversionMidSolve for the
+// sparse backend: aggressive refactorization cadence must not change
+// results.
+func TestLUReinvertCadenceAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		p1 := randomFeasibleLP(rng, 12, 24)
+		p2 := cloneProblem(p1)
+		s1, err := p1.SolveWithOptions(Options{Backend: SparseLU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := p2.SolveWithOptions(Options{Backend: SparseLU, ReinvertEvery: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Status != s2.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, s1.Status, s2.Status)
+		}
+		if s1.Status == Optimal && !approxEq(s1.Objective, s2.Objective, 1e-5) {
+			t.Fatalf("trial %d: obj %.10g vs %.10g", trial, s1.Objective, s2.Objective)
+		}
+	}
+}
+
+// TestLUEtaFileTriggersRefactor: the fill-based refactor trigger must fire
+// once the eta file grows past its budget.
+func TestLUEtaFileTriggersRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s, f := solvedLU(t, rng, 8, 14, Options{})
+	if f.wantRefactor() {
+		t.Fatal("fresh factorization already wants refactor")
+	}
+	w := make([]float64, s.m)
+	for i := range w {
+		w[i] = 1
+	}
+	for i := 0; !f.wantRefactor(); i++ {
+		if !f.update(i%s.m, w) {
+			t.Fatal("update rejected a unit pivot")
+		}
+		if i > 100*s.m {
+			t.Fatal("eta fill trigger never fired")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Objective selects the optimization direction of a Problem.
@@ -249,8 +250,78 @@ type Solution struct {
 	Iterations  int // total simplex pivots across both phases
 }
 
+// SolverBackend selects the basis-factorization engine of the simplex.
+type SolverBackend int8
+
+const (
+	// AutoBackend resolves to the package default, SparseLU (overridable
+	// with SetDefaultBackend). It is the zero value, so Options{} picks
+	// the sparse backend everywhere without callers changing.
+	AutoBackend SolverBackend = iota
+	// SparseLU factorizes the basis as a sparse LU (Markowitz-ordered
+	// Gaussian elimination) and absorbs pivots as product-form eta terms.
+	// Per-iteration cost scales with basis fill rather than m². On
+	// numerical trouble the solve transparently falls back to Dense.
+	SparseLU
+	// Dense maintains an explicit dense basis inverse rebuilt by
+	// Gauss-Jordan elimination: the slow but simple reference backend,
+	// kept for differential testing and as the fallback target.
+	Dense
+)
+
+func (b SolverBackend) String() string {
+	switch b {
+	case AutoBackend:
+		return "auto"
+	case SparseLU:
+		return "sparselu"
+	case Dense:
+		return "dense"
+	}
+	return fmt.Sprintf("SolverBackend(%d)", int8(b))
+}
+
+// ParseBackend parses "auto", "sparselu", or "dense".
+func ParseBackend(s string) (SolverBackend, error) {
+	switch strings.ToLower(s) {
+	case "auto", "":
+		return AutoBackend, nil
+	case "sparselu", "sparse", "lu":
+		return SparseLU, nil
+	case "dense":
+		return Dense, nil
+	}
+	return AutoBackend, fmt.Errorf("lp: unknown backend %q (want auto|sparselu|dense)", s)
+}
+
+// defaultBackend is what AutoBackend resolves to; see SetDefaultBackend.
+var defaultBackend = SparseLU
+
+// SetDefaultBackend changes what AutoBackend resolves to for every
+// subsequent solve and returns the previous default. It is meant for
+// process-wide configuration (benchmark harnesses, command-line flags)
+// before solving starts; it is not synchronized with concurrent solves.
+func SetDefaultBackend(b SolverBackend) SolverBackend {
+	prev := defaultBackend
+	if b == AutoBackend {
+		b = SparseLU
+	}
+	defaultBackend = b
+	return prev
+}
+
+func (b SolverBackend) resolve() SolverBackend {
+	if b == AutoBackend {
+		return defaultBackend
+	}
+	return b
+}
+
 // Options tune the solver. The zero value selects sensible defaults.
 type Options struct {
+	// Backend selects the basis-factorization engine. The zero value
+	// (AutoBackend) resolves to SparseLU.
+	Backend SolverBackend
 	// MaxIters bounds total pivots; 0 means 50·(m+n)+10000.
 	MaxIters int
 	// TolFeas is the primal feasibility tolerance (default 1e-7).
@@ -308,7 +379,17 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 		return nil, fmt.Errorf("lp: model has no variables")
 	}
 	s := newSimplex(p, opts)
-	return s.solve(), nil
+	sol := s.solve()
+	// Last line of the SparseLU fallback policy: if the sparse backend (or
+	// its mid-solve dense fallback) still ended in numerical failure,
+	// re-solve once from scratch with the dense backend, whose pivot
+	// sequence differs enough to escape most bad factorizations.
+	if sol.Status == Numerical && s.backend != Dense {
+		opts.Backend = Dense
+		s = newSimplex(p, opts)
+		sol = s.solve()
+	}
+	return sol, nil
 }
 
 // standardized holds the equality-form model  min cᵀx, Ax = b, l ≤ x ≤ u.

@@ -33,8 +33,11 @@ type simplex struct {
 	// Basis: basis[i] is the column occupying row position i.
 	basis []int
 
-	// Dense m×m basis inverse, row-major.
-	binv []float64
+	// bas maintains the basis factorization (dense inverse or sparse LU,
+	// per backend). fellBack records a mid-solve SparseLU→Dense switch.
+	bas      basisFactor
+	backend  SolverBackend
+	fellBack bool
 
 	// artStart is the first artificial column index; artSign[i] is the
 	// coefficient (±1) of the artificial for row i.
@@ -44,8 +47,10 @@ type simplex struct {
 	// Scratch buffers.
 	y, w, rhs []float64
 
-	// Devex reference weights (nil unless opts.Devex).
-	devexW []float64
+	// Devex reference weights (nil unless opts.Devex); devexRow is the
+	// btranUnit scratch for the pivot row, allocated on first use.
+	devexW   []float64
+	devexRow []float64
 
 	iters          int
 	sinceReinvert  int
@@ -62,6 +67,7 @@ func newSimplex(p *Problem, opts Options) *simplex {
 		ncols: std.ncols,
 	}
 	s.opts = opts.withDefaults(std.m, std.ncols)
+	s.backend = s.opts.Backend.resolve()
 	if s.opts.Scale {
 		s.rowScale, s.colScale = applyScaling(std)
 	}
@@ -202,7 +208,6 @@ func (s *simplex) initPhase1() {
 
 	s.artStart = s.ncols
 	s.basis = make([]int, m)
-	s.binv = make([]float64, m*m)
 	s.cost = make([]float64, s.ncols+m)
 	s.artSign = make([]float64, m)
 	for i := 0; i < m; i++ {
@@ -227,7 +232,6 @@ func (s *simplex) initPhase1() {
 			s.basis[i] = sc
 			s.status[sc] = statBasic
 			s.x[sc] = want
-			s.binv[i*m+i] = coef // coef is ±1, its own inverse
 			// Artificial stays nonbasic at zero.
 			s.status[a] = statLower
 			s.x[a] = 0
@@ -236,7 +240,6 @@ func (s *simplex) initPhase1() {
 		s.basis[i] = a
 		s.status[a] = statBasic
 		s.x[a] = math.Abs(r[i])
-		s.binv[i*m+i] = sign // B = diag(sign) so B⁻¹ = diag(sign)
 	}
 	s.y = make([]float64, m)
 	s.w = make([]float64, m)
@@ -245,6 +248,14 @@ func (s *simplex) initPhase1() {
 		s.devexW = make([]float64, s.ncols)
 		s.resetDevex()
 	}
+	// The starting basis is diagonal (slacks and artificials only), so the
+	// initial factorization cannot fail.
+	if s.backend == Dense {
+		s.bas = newDenseFactor(s)
+	} else {
+		s.bas = newLUFactor(s)
+	}
+	s.bas.refactor()
 }
 
 // resetDevex restores the reference framework (all weights 1), done at
@@ -336,11 +347,17 @@ func (s *simplex) iterate() Status {
 			if s.devexW != nil {
 				s.updateDevex(leave, q, s.w[leave])
 			}
-			s.pivot(leave, q)
+			if !s.pivot(leave, q) {
+				// The factorization refused the pivot as unstable; rebuild
+				// from the (already updated) basis instead.
+				if !s.reinvert() {
+					return Numerical
+				}
+			}
 		}
 		s.iters++
 		s.sinceReinvert++
-		if s.sinceReinvert >= s.opts.ReinvertEvery {
+		if s.sinceReinvert >= s.opts.ReinvertEvery || s.bas.wantRefactor() {
 			if !s.reinvert() {
 				return Numerical
 			}
@@ -360,21 +377,7 @@ func (s *simplex) tryRecover() bool {
 
 // btran computes y = c_Bᵀ B⁻¹ into s.y.
 func (s *simplex) btran() {
-	m := s.m
-	y := s.y
-	for j := range y {
-		y[j] = 0
-	}
-	for i := 0; i < m; i++ {
-		cb := s.cost[s.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[i*m : (i+1)*m]
-		for j, v := range row {
-			y[j] += cb * v
-		}
-	}
+	s.bas.btranCost(s.y)
 }
 
 // reducedCost returns c_j - yᵀA_j using the current s.y.
@@ -446,8 +449,11 @@ func (s *simplex) updateDevex(leave, q int, alphaQ float64) {
 	if alphaQ == 0 {
 		return
 	}
-	m := s.m
-	rowr := s.binv[leave*m : (leave+1)*m]
+	if s.devexRow == nil {
+		s.devexRow = make([]float64, s.m)
+	}
+	rowr := s.devexRow
+	s.bas.btranUnit(leave, rowr)
 	wq := s.devexW[q]
 	inv2 := 1 / (alphaQ * alphaQ)
 	maxW := 1.0
@@ -485,30 +491,7 @@ func (s *simplex) updateDevex(leave, q int, alphaQ float64) {
 
 // ftran computes w = B⁻¹ A_q into s.w.
 func (s *simplex) ftran(q int) {
-	m := s.m
-	w := s.w
-	for i := range w {
-		w[i] = 0
-	}
-	if q >= s.artStart {
-		k := q - s.artStart
-		sign := s.artSign[k]
-		for i := 0; i < m; i++ {
-			w[i] = s.binv[i*m+k] * sign
-		}
-		return
-	}
-	ind, val := s.std.col(q)
-	for t, r := range ind {
-		v := val[t]
-		if v == 0 {
-			continue
-		}
-		ri := int(r)
-		for i := 0; i < m; i++ {
-			w[i] += s.binv[i*m+ri] * v
-		}
-	}
+	s.bas.ftranCol(q, s.w)
 }
 
 // ratioTest finds how far the entering variable q can move in direction
@@ -598,12 +581,12 @@ func (s *simplex) applyStep(q int, sigma, t float64) {
 	s.x[q] += sigma * t
 }
 
-// pivot makes q basic in the `leave` row position and updates B⁻¹ in place
-// with a product-form (eta) transformation.
-func (s *simplex) pivot(leave, q int) {
-	m := s.m
+// pivot makes q basic in the `leave` row position and folds the change into
+// the basis factorization (a product-form/eta transformation in both
+// backends). It reports whether the factorization accepted the update; on
+// false the caller must refactor.
+func (s *simplex) pivot(leave, q int) bool {
 	out := s.basis[leave]
-	wl := s.w[leave]
 
 	// Snap the leaving variable exactly onto the bound it reached: the side
 	// is determined by which bound the ratio test hit.
@@ -620,51 +603,25 @@ func (s *simplex) pivot(leave, q int) {
 	s.basis[leave] = q
 	s.status[q] = statBasic
 
-	// Eta update: row_l /= w_l, then rows i ≠ l get row_i -= w_i·row_l.
-	pivRow := s.binv[leave*m : (leave+1)*m]
-	inv := 1 / wl
-	for j := range pivRow {
-		pivRow[j] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == leave {
-			continue
-		}
-		f := s.w[i]
-		if f == 0 {
-			continue
-		}
-		row := s.binv[i*m : (i+1)*m]
-		for j, v := range pivRow {
-			if v != 0 {
-				row[j] -= f * v
-			}
-		}
-	}
+	return s.bas.update(leave, s.w)
 }
 
-// reinvert rebuilds B⁻¹ from scratch by Gauss-Jordan elimination with
-// partial pivoting and recomputes basic values. Returns false if the basis
-// is numerically singular.
+// reinvert rebuilds the basis factorization from scratch and recomputes
+// basic values. A SparseLU backend that fails numerically falls back to the
+// dense backend for the rest of the solve; reinvert returns false only if
+// the dense rebuild also finds the basis singular.
 func (s *simplex) reinvert() bool {
-	m := s.m
-	bm := make([]float64, m*m)
-	for pos, j := range s.basis {
-		if j >= s.artStart {
-			k := j - s.artStart
-			bm[k*m+pos] = s.artSign[k]
-			continue
-		}
-		ind, val := s.std.col(j)
-		for t, r := range ind {
-			bm[int(r)*m+pos] = val[t]
+	ok := s.bas.refactor()
+	if !ok {
+		if _, dense := s.bas.(*denseFactor); !dense {
+			s.bas = newDenseFactor(s)
+			s.fellBack = true
+			ok = s.bas.refactor()
 		}
 	}
-	inv, ok := invertDense(bm, m)
 	if !ok {
 		return false
 	}
-	s.binv = inv
 	s.sinceReinvert = 0
 	s.recomputeBasics()
 	return true
@@ -686,15 +643,9 @@ func (s *simplex) recomputeBasics() {
 		}
 	}
 	// Nonbasic artificials are always zero, so they never contribute.
+	s.bas.ftranDense(r)
 	for i := 0; i < m; i++ {
-		row := s.binv[i*m : (i+1)*m]
-		sum := 0.0
-		for k, v := range row {
-			if v != 0 {
-				sum += v * r[k]
-			}
-		}
-		s.x[s.basis[i]] = sum
+		s.x[s.basis[i]] = r[i]
 	}
 }
 
@@ -747,69 +698,4 @@ func (s *simplex) failure(st Status) *Solution {
 		sol.X[j] = s.x[j]
 	}
 	return sol
-}
-
-// invertDense inverts the m×m row-major matrix a in place via Gauss-Jordan
-// with partial pivoting, returning (inverse, true) on success. The input is
-// clobbered.
-func invertDense(a []float64, m int) ([]float64, bool) {
-	inv := make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		inv[i*m+i] = 1
-	}
-	for col := 0; col < m; col++ {
-		piv, pmax := -1, 0.0
-		for r := col; r < m; r++ {
-			if v := math.Abs(a[r*m+col]); v > pmax {
-				pmax = v
-				piv = r
-			}
-		}
-		if piv < 0 || pmax < 1e-12 {
-			return nil, false
-		}
-		if piv != col {
-			swapRows(a, m, piv, col)
-			swapRows(inv, m, piv, col)
-		}
-		d := 1 / a[col*m+col]
-		arow := a[col*m : (col+1)*m]
-		irow := inv[col*m : (col+1)*m]
-		for j := range arow {
-			arow[j] *= d
-		}
-		for j := range irow {
-			irow[j] *= d
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := a[r*m+col]
-			if f == 0 {
-				continue
-			}
-			ar := a[r*m : (r+1)*m]
-			ir := inv[r*m : (r+1)*m]
-			for j := range arow {
-				if arow[j] != 0 {
-					ar[j] -= f * arow[j]
-				}
-			}
-			for j := range irow {
-				if irow[j] != 0 {
-					ir[j] -= f * irow[j]
-				}
-			}
-		}
-	}
-	return inv, true
-}
-
-func swapRows(a []float64, m, r1, r2 int) {
-	row1 := a[r1*m : (r1+1)*m]
-	row2 := a[r2*m : (r2+1)*m]
-	for j := range row1 {
-		row1[j], row2[j] = row2[j], row1[j]
-	}
 }
