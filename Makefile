@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet fmt-check bench-lp bench ci
+.PHONY: all build test test-short test-race vet fmt-check bench-lp bench-online bench ci
 
 all: build
 
@@ -13,6 +13,9 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+test-race:
+	$(GO) test -race -short ./...
+
 vet:
 	$(GO) vet ./...
 
@@ -23,6 +26,12 @@ fmt-check:
 # (Dense vs SparseLU on te/cluster/lb-shaped instances at three sizes).
 bench-lp:
 	$(GO) run ./cmd/lpbench -reps 3 -o BENCH_lp.json
+
+# bench-online regenerates BENCH_online.json, the online engine perf
+# trajectory (warm incremental vs cold full re-solve across a dirty-fraction
+# sweep on cluster/lb-shaped round sequences).
+bench-online:
+	$(GO) run ./cmd/onlinebench -reps 3 -o BENCH_online.json
 
 # bench runs the paper-evaluation benchmark suite at Small scale.
 bench:

@@ -1,0 +1,249 @@
+// Command onlinebench measures the online allocation engine: warm
+// incremental re-solve latency against a cold full re-solve over
+// cluster- and lb-shaped round sequences, swept across dirty fractions
+// (the share of clients whose data changes per round). It writes a JSON
+// regression record (BENCH_online.json via `make bench-online`) so every
+// PR has an online-path perf trajectory to compare against.
+//
+// Usage:
+//
+//	onlinebench [-o BENCH_online.json] [-reps 3] [-rounds 6] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"pop/internal/cluster"
+	"pop/internal/lb"
+	"pop/internal/lp"
+	"pop/internal/online"
+)
+
+type record struct {
+	Family        string  `json:"family"`
+	Clients       int     `json:"clients"`
+	K             int     `json:"k"`
+	DirtyFrac     float64 `json:"dirty_frac"`
+	Rounds        int     `json:"rounds"`
+	ColdNsPerRnd  int64   `json:"cold_ns_per_round"`
+	WarmNsPerRnd  int64   `json:"warm_ns_per_round"`
+	Speedup       float64 `json:"speedup"`
+	WarmSubSolves int     `json:"warm_sub_solves"`
+	ColdSubSolves int     `json:"cold_sub_solves"`
+	WarmHits      int     `json:"warm_hits"`
+	ObjAgree      bool    `json:"objectives_agree"`
+	MaxObjDelta   float64 `json:"max_obj_delta"`
+}
+
+type report struct {
+	GeneratedAt    string   `json:"generated_at"`
+	Seed           int64    `json:"seed"`
+	Reps           int      `json:"reps"`
+	GeomeanSpeedup float64  `json:"geomean_speedup"`
+	Records        []record `json:"records"`
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "BENCH_online.json", "output file ('-' for stdout)")
+		reps   = flag.Int("reps", 3, "sequence repetitions (best total per engine is kept)")
+		rounds = flag.Int("rounds", 6, "timed rounds per sequence")
+		seed   = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        *seed,
+		Reps:        *reps,
+	}
+	fracs := []float64{0.05, 0.25, 1.0}
+	for _, f := range fracs {
+		rep.Records = append(rep.Records, benchCluster(f, *rounds, *reps, *seed))
+	}
+	for _, f := range fracs {
+		rep.Records = append(rep.Records, benchLB(f, *rounds, *reps, *seed))
+	}
+
+	logGeo := 0.0
+	for _, r := range rep.Records {
+		fmt.Fprintf(os.Stderr, "%-8s clients=%-4d k=%-2d dirty=%-5.2f cold=%-12v warm=%-12v speedup=%.2fx agree=%v\n",
+			r.Family, r.Clients, r.K, r.DirtyFrac,
+			time.Duration(r.ColdNsPerRnd), time.Duration(r.WarmNsPerRnd), r.Speedup, r.ObjAgree)
+		logGeo += math.Log(r.Speedup)
+	}
+	rep.GeomeanSpeedup = math.Exp(logGeo / float64(len(rep.Records)))
+	fmt.Fprintf(os.Stderr, "geomean speedup: %.2fx\n", rep.GeomeanSpeedup)
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onlinebench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchCluster replays a job-churn round sequence (weight changes and
+// depart+arrive churn over dirtyFrac of the jobs) against a warm
+// incremental engine and a cold full-solve engine.
+func benchCluster(dirtyFrac float64, rounds, reps int, seed int64) record {
+	const nJobs, k = 192, 8
+	c := cluster.NewCluster(48, 48, 48)
+	rec := record{Family: "cluster", Clients: nJobs, K: k, DirtyFrac: dirtyFrac, Rounds: rounds, ObjAgree: true}
+	bestWarm, bestCold := int64(math.MaxInt64), int64(math.MaxInt64)
+
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := cluster.GenerateJobs(nJobs, seed+2, 0.2)
+		warm, err := online.NewClusterEngine(c, online.MaxMinFairness, online.Options{K: k}, lp.Options{})
+		die(err)
+		cold, err := online.NewClusterEngine(c, online.MaxMinFairness, online.Options{K: k, NoWarmStart: true}, lp.Options{})
+		die(err)
+		nextID := nJobs
+		live := make([]cluster.Job, len(jobs))
+		copy(live, jobs)
+		for _, j := range live {
+			warm.Upsert(j)
+			cold.Upsert(j)
+		}
+		// Untimed warm-up round: both engines reach steady state.
+		die(warm.Solve())
+		cold.MarkAllDirty()
+		die(cold.Solve())
+
+		var warmNs, coldNs int64
+		for round := 0; round < rounds; round++ {
+			nTouch := int(math.Max(1, dirtyFrac*nJobs))
+			for t := 0; t < nTouch; t++ {
+				i := rng.Intn(len(live))
+				if rng.Float64() < 0.7 { // weight change
+					live[i].Weight = 0.5 + rng.Float64()*2
+				} else { // churn: depart + fresh arrival
+					warm.Remove(live[i].ID)
+					cold.Remove(live[i].ID)
+					nj := cluster.GenerateJobs(1, seed+int64(nextID), 0.2)[0]
+					nj.ID = nextID
+					nextID++
+					live[i] = nj
+				}
+				warm.Upsert(live[i])
+				cold.Upsert(live[i])
+			}
+			start := time.Now()
+			die(warm.Solve())
+			warmNs += time.Since(start).Nanoseconds()
+
+			start = time.Now()
+			cold.MarkAllDirty()
+			die(cold.Solve())
+			coldNs += time.Since(start).Nanoseconds()
+
+			if d := math.Abs(warm.Objective() - cold.Objective()); d > rec.MaxObjDelta {
+				rec.MaxObjDelta = d
+			}
+		}
+		if warmNs < bestWarm {
+			bestWarm = warmNs
+			s := warm.Stats()
+			rec.WarmSubSolves = s.SubSolves
+			rec.WarmHits = s.WarmHits
+		}
+		if coldNs < bestCold {
+			bestCold = coldNs
+			rec.ColdSubSolves = cold.Stats().SubSolves
+		}
+	}
+	rec.WarmNsPerRnd = bestWarm / int64(rounds)
+	rec.ColdNsPerRnd = bestCold / int64(rounds)
+	rec.ObjAgree = rec.MaxObjDelta <= 1e-6
+	if rec.WarmNsPerRnd > 0 {
+		rec.Speedup = float64(rec.ColdNsPerRnd) / float64(rec.WarmNsPerRnd)
+	}
+	return rec
+}
+
+// benchLB replays a load-jitter round sequence (dirtyFrac of shard loads
+// shift per round) through the shard-balancing engines; both see the warm
+// engine's placement trajectory, as lb.RunRounds would feed it back.
+func benchLB(dirtyFrac float64, rounds, reps int, seed int64) record {
+	const nShards, nServers, k = 96, 16, 4
+	rec := record{Family: "lb", Clients: nShards, K: k, DirtyFrac: dirtyFrac, Rounds: rounds, ObjAgree: true}
+	bestWarm, bestCold := int64(math.MaxInt64), int64(math.MaxInt64)
+
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(seed + 7))
+		inst := lb.NewInstance(nShards, nServers, 0.05, seed+3)
+		warm, err := online.NewLBEngine(online.Options{K: k}, lp.Options{})
+		die(err)
+		cold, err := online.NewLBEngine(online.Options{K: k, NoWarmStart: true}, lp.Options{})
+		die(err)
+		a, err := warm.Step(inst)
+		die(err)
+		cold.MarkAllDirty()
+		_, err = cold.Step(inst)
+		die(err)
+		inst.Placement = a.Placed
+
+		var warmNs, coldNs int64
+		for round := 0; round < rounds; round++ {
+			nTouch := int(math.Max(1, dirtyFrac*nShards))
+			for t := 0; t < nTouch; t++ {
+				i := rng.Intn(nShards)
+				inst.Shards[i].Load *= math.Exp(rng.NormFloat64() * 0.25)
+			}
+			start := time.Now()
+			a, err := warm.Step(inst)
+			die(err)
+			warmNs += time.Since(start).Nanoseconds()
+
+			start = time.Now()
+			cold.MarkAllDirty()
+			_, err = cold.Step(inst)
+			die(err)
+			coldNs += time.Since(start).Nanoseconds()
+
+			if d := math.Abs(warm.Objective() - cold.Objective()); d > rec.MaxObjDelta {
+				rec.MaxObjDelta = d
+			}
+			inst.Placement = a.Placed
+		}
+		if warmNs < bestWarm {
+			bestWarm = warmNs
+			s := warm.Stats()
+			rec.WarmSubSolves = s.SubSolves
+			rec.WarmHits = s.WarmHits
+		}
+		if coldNs < bestCold {
+			bestCold = coldNs
+			rec.ColdSubSolves = cold.Stats().SubSolves
+		}
+	}
+	rec.WarmNsPerRnd = bestWarm / int64(rounds)
+	rec.ColdNsPerRnd = bestCold / int64(rounds)
+	rec.ObjAgree = rec.MaxObjDelta <= 1e-6
+	if rec.WarmNsPerRnd > 0 {
+		rec.Speedup = float64(rec.ColdNsPerRnd) / float64(rec.WarmNsPerRnd)
+	}
+	return rec
+}

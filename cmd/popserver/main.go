@@ -1,0 +1,102 @@
+// Command popserver is a long-running allocation daemon on top of the
+// online incremental engine (internal/online): clients submit and remove
+// jobs over HTTP, mutations are batched per scheduling round, and each
+// round re-solves only the dirtied POP sub-problems, warm-started from
+// their previous simplex bases.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs            submit or update a job (batched until the next round)
+//	DELETE /v1/jobs/{id}       remove a job (batched)
+//	POST   /v1/tick            force a scheduling round now
+//	GET    /v1/allocation      full allocation snapshot of the last round
+//	GET    /v1/allocation/{id} one job's allocation
+//	GET    /v1/stats           engine and server counters
+//	GET    /healthz            liveness
+//
+// Usage:
+//
+//	popserver [-addr :8080] [-gpus 32,32,32] [-k 8] [-round 2s] [-policy maxmin]
+//
+// With -round 0 no ticker runs and rounds happen only via POST /v1/tick.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pop/internal/cluster"
+	"pop/internal/online"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		gpus     = flag.String("gpus", "32,32,32", "comma-separated GPU counts for K80,P100,V100")
+		k        = flag.Int("k", 8, "number of POP sub-problems")
+		round    = flag.Duration("round", 2*time.Second, "scheduling round length (0 = manual ticks only)")
+		policyFl = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan")
+		parallel = flag.Bool("parallel", true, "solve dirty sub-problems concurrently")
+	)
+	flag.Parse()
+
+	c, err := parseCluster(*gpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "popserver:", err)
+		os.Exit(2)
+	}
+	var policy online.ClusterPolicy
+	switch strings.ToLower(*policyFl) {
+	case "maxmin", "max-min":
+		policy = online.MaxMinFairness
+	case "makespan", "min-makespan":
+		policy = online.MinMakespan
+	default:
+		fmt.Fprintf(os.Stderr, "popserver: unknown policy %q (want maxmin|makespan)\n", *policyFl)
+		os.Exit(2)
+	}
+
+	srv, err := newServer(c, policy, online.Options{K: *k, Parallel: *parallel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "popserver:", err)
+		os.Exit(2)
+	}
+
+	if *round > 0 {
+		go func() {
+			tick := time.NewTicker(*round)
+			defer tick.Stop()
+			for range tick.C {
+				if _, err := srv.tick(); err != nil {
+					log.Printf("popserver: round failed: %v", err)
+				}
+			}
+		}()
+	}
+
+	log.Printf("popserver: %s policy, %d sub-problems, cluster %v×%v, round %v, listening on %s",
+		policy, *k, c.TypeNames, c.NumGPUs, *round, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}
+
+func parseCluster(spec string) (cluster.Cluster, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return cluster.Cluster{}, fmt.Errorf("-gpus wants three comma-separated counts, got %q", spec)
+	}
+	counts := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return cluster.Cluster{}, fmt.Errorf("bad GPU count %q", p)
+		}
+		counts[i] = v
+	}
+	return cluster.NewCluster(counts[0], counts[1], counts[2]), nil
+}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pop/internal/cluster"
+	"pop/internal/lp"
+	"pop/internal/online"
+)
+
+// jobSpec is the wire format of a job submission.
+type jobSpec struct {
+	ID         int       `json:"id"`
+	Throughput []float64 `json:"throughput"`
+	Weight     float64   `json:"weight,omitempty"`
+	Scale      float64   `json:"scale,omitempty"`
+	NumSteps   float64   `json:"num_steps,omitempty"`
+	MemFrac    float64   `json:"mem_frac,omitempty"`
+}
+
+// jobAlloc is one job's slice of the current allocation snapshot.
+type jobAlloc struct {
+	ID     int       `json:"id"`
+	X      []float64 `json:"x"` // time fraction per GPU type
+	EffThr float64   `json:"effective_throughput"`
+}
+
+// snapshot is the allocation as of the last completed round, plus the
+// engine counters frozen at that instant (so stats reads never have to
+// touch the engine while a round is solving).
+type snapshot struct {
+	Round       int                 `json:"round"`
+	ComputedAt  time.Time           `json:"computed_at"`
+	SolveTimeMs float64             `json:"solve_time_ms"`
+	NumJobs     int                 `json:"num_jobs"`
+	Jobs        map[string]jobAlloc `json:"jobs"`
+
+	engStats online.Stats
+}
+
+// mutation is one buffered state change (submit or remove).
+type mutation struct {
+	submit *cluster.Job
+	remove int
+}
+
+// server batches mutations between rounds and re-solves the engine once per
+// round — the per-round request batching the online engine is built for.
+// mu guards only the cheap shared state (pending queue, last snapshot), so
+// submissions and reads never wait on a solve; engMu serializes rounds,
+// which are the only engine access.
+type server struct {
+	mu      sync.Mutex
+	pending []mutation
+	snap    snapshot
+
+	engMu sync.Mutex
+	eng   *online.ClusterEngine
+
+	c       cluster.Cluster
+	started time.Time
+}
+
+func newServer(c cluster.Cluster, policy online.ClusterPolicy, opts online.Options) (*server, error) {
+	eng, err := online.NewClusterEngine(c, policy, opts, lp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &server{
+		eng:     eng,
+		c:       c,
+		snap:    snapshot{Jobs: map[string]jobAlloc{}},
+		started: time.Now(),
+	}, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRemove)
+	mux.HandleFunc("POST /v1/tick", s.handleTick)
+	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
+	mux.HandleFunc("GET /v1/allocation/{id}", s.handleAllocationOne)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if spec.ID < 0 {
+		writeErr(w, http.StatusBadRequest, "id must be non-negative")
+		return
+	}
+	if len(spec.Throughput) != s.c.NumTypes() {
+		writeErr(w, http.StatusBadRequest, "throughput must have %d entries (one per GPU type)", s.c.NumTypes())
+		return
+	}
+	for _, t := range spec.Throughput {
+		if t < 0 {
+			writeErr(w, http.StatusBadRequest, "throughputs must be non-negative")
+			return
+		}
+	}
+	job := cluster.Job{
+		ID:         spec.ID,
+		Throughput: spec.Throughput,
+		Weight:     spec.Weight,
+		Scale:      spec.Scale,
+		NumSteps:   spec.NumSteps,
+		MemFrac:    spec.MemFrac,
+		Priority:   1,
+	}
+	if job.Weight <= 0 {
+		job.Weight = 1
+	}
+	if job.Scale <= 0 {
+		job.Scale = 1
+	}
+	if job.NumSteps <= 0 {
+		job.NumSteps = 1
+	}
+
+	s.mu.Lock()
+	s.pending = append(s.pending, mutation{submit: &job})
+	n := len(s.pending)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "pending": n})
+}
+
+func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad id: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, mutation{submit: nil, remove: id})
+	n := len(s.pending)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "pending": n})
+}
+
+// tick applies the batched mutations and re-solves the dirtied
+// sub-problems. It is called by the round ticker (or POST /v1/tick).
+func (s *server) tick() (snapshot, error) {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	round := s.snap.Round
+	s.mu.Unlock()
+
+	for _, m := range pending {
+		if m.submit != nil {
+			s.eng.Upsert(*m.submit)
+		} else {
+			s.eng.Remove(m.remove)
+		}
+	}
+
+	start := time.Now()
+	jobs := s.eng.Jobs()
+	snap := snapshot{
+		Round:      round + 1,
+		ComputedAt: time.Now().UTC(),
+		NumJobs:    len(jobs),
+		Jobs:       make(map[string]jobAlloc, len(jobs)),
+	}
+	if len(jobs) > 0 {
+		alloc, err := s.eng.Step(jobs, s.c)
+		if err != nil {
+			// The mutations were applied; only the snapshot is lost.
+			return snapshot{}, err
+		}
+		for i, j := range jobs {
+			snap.Jobs[strconv.Itoa(j.ID)] = jobAlloc{ID: j.ID, X: alloc.X[i], EffThr: alloc.EffThr[i]}
+		}
+	}
+	snap.SolveTimeMs = float64(time.Since(start).Microseconds()) / 1000
+	snap.engStats = s.eng.Stats()
+
+	s.mu.Lock()
+	s.snap = snap
+	s.mu.Unlock()
+	return snap, nil
+}
+
+func (s *server) handleTick(w http.ResponseWriter, _ *http.Request) {
+	snap, err := s.tick()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "round failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"round": snap.Round, "num_jobs": snap.NumJobs, "solve_time_ms": snap.SolveTimeMs,
+	})
+}
+
+func (s *server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snap := s.snap
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *server) handleAllocationOne(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ja, ok := s.snap.Jobs[r.PathValue("id")]
+	round := s.snap.Round
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "job %s has no allocation (round %d)", r.PathValue("id"), round)
+		return
+	}
+	writeJSON(w, http.StatusOK, ja)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := s.snap.engStats
+	resp := map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"round":          s.snap.Round,
+		"num_jobs":       s.snap.NumJobs,
+		"pending":        len(s.pending),
+		"gpu_types":      s.c.TypeNames,
+		"gpus":           s.c.NumGPUs,
+		"engine": map[string]any{
+			"rounds":        st.Rounds,
+			"sub_solves":    st.SubSolves,
+			"skipped_clean": st.SkippedClean,
+			"warm_attempts": st.WarmAttempts,
+			"warm_hits":     st.WarmHits,
+			"iterations":    st.Iterations,
+			"arrivals":      st.Arrivals,
+			"departures":    st.Departures,
+			"updates":       st.Updates,
+		},
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pop/internal/cluster"
+	"pop/internal/online"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cluster.NewCluster(4, 4, 4), online.MaxMinFairness, online.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func do(t *testing.T, method, url string, body any, wantCode int) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d, want %d", method, url, resp.StatusCode, wantCode)
+	}
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: bad JSON: %v", method, url, err)
+	}
+	return out
+}
+
+// TestServerRoundTrip drives the full submit → tick → allocation → remove
+// life cycle through the HTTP surface.
+func TestServerRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Batch a handful of jobs; nothing is allocated before the round ticks.
+	for id := 0; id < 6; id++ {
+		do(t, "POST", ts.URL+"/v1/jobs", jobSpec{
+			ID:         id,
+			Throughput: []float64{1, 2, 4},
+			Weight:     1,
+			Scale:      1,
+			NumSteps:   1000,
+		}, http.StatusAccepted)
+	}
+	alloc := do(t, "GET", ts.URL+"/v1/allocation", nil, http.StatusOK)
+	if got := alloc["num_jobs"].(float64); got != 0 {
+		t.Fatalf("pre-tick allocation has %g jobs, want 0 (batching broke)", got)
+	}
+
+	// Tick: the batch lands in one round.
+	tick := do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	if got := tick["num_jobs"].(float64); got != 6 {
+		t.Fatalf("round saw %g jobs, want 6", got)
+	}
+
+	alloc = do(t, "GET", ts.URL+"/v1/allocation", nil, http.StatusOK)
+	jobs := alloc["jobs"].(map[string]any)
+	if len(jobs) != 6 {
+		t.Fatalf("allocation has %d jobs, want 6", len(jobs))
+	}
+	// Every job must receive useful throughput on this uncontended cluster.
+	for id, raw := range jobs {
+		ja := raw.(map[string]any)
+		if thr := ja["effective_throughput"].(float64); thr <= 0 {
+			t.Fatalf("job %s starved: %g", id, thr)
+		}
+		x := ja["x"].([]any)
+		sum := 0.0
+		for _, v := range x {
+			sum += v.(float64)
+		}
+		if sum > 1+1e-6 {
+			t.Fatalf("job %s time budget %g > 1", id, sum)
+		}
+	}
+
+	one := do(t, "GET", ts.URL+"/v1/allocation/3", nil, http.StatusOK)
+	if got := one["id"].(float64); got != 3 {
+		t.Fatalf("allocation/3 returned id %g", got)
+	}
+	do(t, "GET", ts.URL+"/v1/allocation/99", nil, http.StatusNotFound)
+
+	// Remove two jobs; the next round shrinks.
+	do(t, "DELETE", ts.URL+"/v1/jobs/0", nil, http.StatusAccepted)
+	do(t, "DELETE", ts.URL+"/v1/jobs/1", nil, http.StatusAccepted)
+	tick = do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	if got := tick["num_jobs"].(float64); got != 4 {
+		t.Fatalf("round saw %g jobs after removals, want 4", got)
+	}
+
+	stats := do(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK)
+	eng := stats["engine"].(map[string]any)
+	if got := eng["departures"].(float64); got != 2 {
+		t.Fatalf("engine departures %g, want 2", got)
+	}
+	if got := eng["rounds"].(float64); got < 2 {
+		t.Fatalf("engine rounds %g, want ≥ 2", got)
+	}
+}
+
+// TestServerBatchingSkipsCleanSubProblems: a second tick with no pending
+// mutations must not re-solve anything.
+func TestServerBatchingSkipsCleanSubProblems(t *testing.T) {
+	s, ts := newTestServer(t)
+	for id := 0; id < 4; id++ {
+		do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: id, Throughput: []float64{1, 1, 1}}, http.StatusAccepted)
+	}
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	before := s.eng.Stats().SubSolves
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	if after := s.eng.Stats().SubSolves; after != before {
+		t.Fatalf("idle tick re-solved %d sub-problems", after-before)
+	}
+}
+
+// TestServerValidation rejects malformed submissions.
+func TestServerValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: 1, Throughput: []float64{1, 2}}, http.StatusBadRequest)
+	do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: -1, Throughput: []float64{1, 2, 3}}, http.StatusBadRequest)
+	do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: 1, Throughput: []float64{1, -2, 3}}, http.StatusBadRequest)
+	do(t, "GET", ts.URL+"/healthz", nil, http.StatusOK)
+}
+
+// TestServerAllocationFeasible checks the composed allocation against the
+// cluster budgets after a few churn rounds.
+func TestServerAllocationFeasible(t *testing.T) {
+	s, ts := newTestServer(t)
+	for id := 0; id < 10; id++ {
+		do(t, "POST", ts.URL+"/v1/jobs", jobSpec{
+			ID:         id,
+			Throughput: []float64{1 + float64(id%3), 2, 3 + float64(id%2)},
+			Scale:      float64(1 + id%2),
+		}, http.StatusAccepted)
+	}
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	do(t, "DELETE", ts.URL+"/v1/jobs/2", nil, http.StatusAccepted)
+	do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: 77, Throughput: []float64{5, 5, 5}}, http.StatusAccepted)
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+
+	s.mu.Lock()
+	snap := s.snap
+	s.mu.Unlock()
+	used := make([]float64, 3)
+	for idStr, ja := range snap.Jobs {
+		var id int
+		fmt.Sscanf(idStr, "%d", &id)
+		scale := 1 + float64(id%2)
+		if id == 77 {
+			scale = 1
+		}
+		for i, v := range ja.X {
+			if v < -1e-9 {
+				t.Fatalf("job %s negative fraction %g", idStr, v)
+			}
+			used[i] += v * scale
+		}
+	}
+	for i, u := range used {
+		if u > 4+1e-6 {
+			t.Fatalf("GPU type %d oversubscribed: %g > 4", i, u)
+		}
+		if math.IsNaN(u) {
+			t.Fatalf("NaN usage on type %d", i)
+		}
+	}
+}

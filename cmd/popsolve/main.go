@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,23 +24,36 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted, so the end-to-end test can
+// drive the tool in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("popsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		showAll = flag.Bool("all", false, "print all variables, not just nonzeros")
-		relax   = flag.Bool("relax", false, "solve the LP relaxation even if integer markers are present")
-		maxSecs = flag.Float64("timelimit", 300, "MILP time limit in seconds")
+		showAll = fs.Bool("all", false, "print all variables, not just nonzeros")
+		relax   = fs.Bool("relax", false, "solve the LP relaxation even if integer markers are present")
+		maxSecs = fs.Float64("timelimit", 300, "MILP time limit in seconds")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: popsolve [-all] [-relax] <model.mps | ->")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: popsolve [-all] [-relax] <model.mps | ->")
+		return 2
 	}
 
-	var in io.Reader = os.Stdin
-	if name := flag.Arg(0); name != "-" {
+	in := stdin
+	if name := fs.Arg(0); name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		in = f
@@ -47,10 +61,10 @@ func main() {
 
 	prob, intVars, err := lp.ReadMPS(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Printf("model: %d variables (%d integer), %d constraints, %d nonzeros\n",
+	fmt.Fprintf(stdout, "model: %d variables (%d integer), %d constraints, %d nonzeros\n",
 		prob.NumVariables(), len(intVars), prob.NumConstraints(), prob.NumNonzeros())
 
 	start := time.Now()
@@ -64,32 +78,33 @@ func main() {
 			TimeLimit: time.Duration(*maxSecs * float64(time.Second)),
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		status = sol.Status.String()
 		objective = sol.Objective
 		x = sol.X
-		fmt.Printf("branch-and-bound: %d nodes, gap %.3g\n", sol.Nodes, sol.Gap)
+		fmt.Fprintf(stdout, "branch-and-bound: %d nodes, gap %.3g\n", sol.Nodes, sol.Gap)
 	} else {
 		sol, err := prob.SolveWithOptions(lp.Options{Scale: true})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		status = sol.Status.String()
 		objective = sol.Objective
 		x = sol.X
-		fmt.Printf("simplex: %d iterations\n", sol.Iterations)
+		fmt.Fprintf(stdout, "simplex: %d iterations\n", sol.Iterations)
 	}
-	fmt.Printf("status: %s in %v\n", status, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "status: %s in %v\n", status, time.Since(start).Round(time.Millisecond))
 	if status != "optimal" && status != "feasible" {
-		os.Exit(0)
+		return 0
 	}
-	fmt.Printf("objective: %.10g\n", objective)
+	fmt.Fprintf(stdout, "objective: %.10g\n", objective)
 	for j, v := range x {
 		if *showAll || v > 1e-9 || v < -1e-9 {
-			fmt.Printf("  x%-6d = %.8g\n", j, v)
+			fmt.Fprintf(stdout, "  x%-6d = %.8g\n", j, v)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The chocolate-factory classic: max 5x+4y s.t. 6x+4y ≤ 24, x+2y ≤ 6;
+// optimum 21 at (3, 1.5).
+const tinyLP = `NAME CHOCOLATE
+OBJSENSE
+    MAX
+ROWS
+ N  COST
+ L  LIM1
+ L  LIM2
+COLUMNS
+    X  COST  5  LIM1  6
+    X  LIM2  1
+    Y  COST  4  LIM1  4
+    Y  LIM2  2
+RHS
+    RHS  LIM1  24  LIM2  6
+ENDATA
+`
+
+// A tiny MILP: max x+y, x+y ≤ 1.5, both binary → optimum 1.
+const tinyMILP = `NAME KNAP
+OBJSENSE
+    MAX
+ROWS
+ N  OBJ
+ L  CAP
+COLUMNS
+    MARKER  'MARKER'  'INTORG'
+    X  OBJ  1  CAP  1
+    Y  OBJ  1  CAP  1
+    MARKER  'MARKER'  'INTEND'
+RHS
+    RHS  CAP  1.5
+BOUNDS
+ UP BND  X  1
+ UP BND  Y  1
+ENDATA
+`
+
+// TestEndToEndLPFromStdin: tiny instance in via "-", sane allocation out.
+func TestEndToEndLPFromStdin(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-"}, strings.NewReader(tinyLP), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"model: 2 variables (0 integer), 2 constraints",
+		"status: optimal",
+		"objective: 21",
+		"x0",
+		"= 3",
+		"= 1.5",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestEndToEndLPFromFile solves the same model from a file path.
+func TestEndToEndLPFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.mps")
+	if err := os.WriteFile(path, []byte(tinyLP), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "objective: 21") {
+		t.Fatalf("wrong objective:\n%s", out.String())
+	}
+}
+
+// TestEndToEndMILPAndRelax: integer markers honoured, -relax ignores them.
+func TestEndToEndMILPAndRelax(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-"}, strings.NewReader(tinyMILP), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "branch-and-bound:") || !strings.Contains(out.String(), "objective: 1\n") {
+		t.Fatalf("MILP output wrong:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-relax", "-"}, strings.NewReader(tinyMILP), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "simplex:") || !strings.Contains(out.String(), "objective: 1.5") {
+		t.Fatalf("relaxation output wrong:\n%s", out.String())
+	}
+}
+
+// TestEndToEndBadUsage: wrong arguments and unreadable files exit non-zero.
+func TestEndToEndBadUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{"/does/not/exist.mps"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("missing-file exit %d, want 1", code)
+	}
+	if code := run([]string{"-"}, strings.NewReader("garbage\n"), &out, &errOut); code != 1 {
+		t.Fatalf("garbage exit %d, want 1", code)
+	}
+	if code := run([]string{"-h"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("-h exit %d, want 0", code)
+	}
+}

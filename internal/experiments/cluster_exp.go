@@ -8,6 +8,7 @@ import (
 	"pop/internal/core"
 	"pop/internal/gavelsim"
 	"pop/internal/lp"
+	"pop/internal/online"
 	"pop/internal/propfair"
 )
 
@@ -234,6 +235,15 @@ func Fig8(scale Scale) (*Result, error) {
 		}); err != nil {
 			return nil, err
 		}
+	}
+	// The online engine: same POP decomposition, but sub-problems persist
+	// across rounds — only dirtied ones re-solve, warm-started.
+	eng, err := online.NewClusterEngine(cfg.Cluster, online.MinMakespan, online.Options{K: 4, Parallel: true}, lp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := run("POP-4 online", eng.Policy()); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

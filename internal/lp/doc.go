@@ -52,6 +52,23 @@
 // every caller gets the fast path without opting in; SetDefaultBackend
 // rebinds it process-wide (cmd/popbench -backend).
 //
+// # Warm starts
+//
+// Every optimal solve exports a combinatorial Basis snapshot
+// (Solution.Basis); passing it back as Options.WarmBasis seeds a later
+// solve of the same or a similar problem. The warm path rebuilds primal
+// values from the snapshot (repairing the basic count if the shape drifted),
+// refactorizes, and — when the stale basis is no longer primal feasible —
+// runs a bound-shifting phase 1: out-of-bounds columns get their bounds
+// temporarily relaxed to the interval between current value and violated
+// bound plus a unit cost pushing them home, so ordinary phase-2 pivots
+// restore feasibility without the all-artificial restart. A snapshot that
+// is the wrong shape, singular, or unrepairable is silently discarded for a
+// cold phase 1 (Solution.WarmStarted reports which path ran); warm starts
+// therefore change solve speed, never solve outcomes. This is what the
+// online engine (package online) leans on to re-solve drifting sub-problems
+// round after round.
+//
 // The solver reports primal values, row duals, reduced costs, and a status
 // (Optimal, Infeasible, Unbounded, IterLimit, Numerical). It is deterministic:
 // the same model always takes the same pivot sequence.

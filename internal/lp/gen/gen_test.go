@@ -1,0 +1,129 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"pop/internal/lp"
+)
+
+// mpsBytes serializes a problem so instances can be compared bit-for-bit.
+func mpsBytes(t *testing.T, p *lp.Problem) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteMPS(&buf, "GEN", nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterministicForFixedSeed: the same seed must produce byte-identical
+// instances (the benchmarks rely on this for cross-run comparability), and
+// a different seed must not.
+func TestDeterministicForFixedSeed(t *testing.T) {
+	a := All(7)
+	b := All(7)
+	if len(a) != len(b) || len(a) != 9 {
+		t.Fatalf("All produced %d and %d instances, want 9 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name() != b[i].Name() {
+			t.Fatalf("instance %d: name %q vs %q", i, a[i].Name(), b[i].Name())
+		}
+		if !bytes.Equal(mpsBytes(t, a[i].P), mpsBytes(t, b[i].P)) {
+			t.Fatalf("instance %s differs across runs with the same seed", a[i].Name())
+		}
+	}
+	c := All(8)
+	diff := false
+	for i := range a {
+		if !bytes.Equal(mpsBytes(t, a[i].P), mpsBytes(t, c[i].P)) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 7 and 8 produced identical corpora")
+	}
+}
+
+// TestShapesGrowWithSize: each family's dimensions must be monotone in the
+// size grade, and every instance non-degenerate.
+func TestShapesGrowWithSize(t *testing.T) {
+	families := map[string][]*Instance{}
+	for _, in := range All(1) {
+		families[in.Family] = append(families[in.Family], in)
+	}
+	for fam, ins := range families {
+		if len(ins) != 3 {
+			t.Fatalf("family %s has %d sizes, want 3", fam, len(ins))
+		}
+		for i := 1; i < len(ins); i++ {
+			if ins[i].P.NumVariables() <= ins[i-1].P.NumVariables() {
+				t.Fatalf("%s: variables not growing: %s=%d, %s=%d", fam,
+					ins[i-1].Size, ins[i-1].P.NumVariables(), ins[i].Size, ins[i].P.NumVariables())
+			}
+			if ins[i].P.NumConstraints() <= ins[i-1].P.NumConstraints() {
+				t.Fatalf("%s: constraints not growing", fam)
+			}
+		}
+		for _, in := range ins {
+			if in.P.NumNonzeros() == 0 {
+				t.Fatalf("%s has no nonzeros", in.Name())
+			}
+		}
+	}
+	if len(families) != 3 {
+		t.Fatalf("got families %v, want te/cluster/lb", len(families))
+	}
+}
+
+// TestSmallInstancesSolveFeasibly: every small instance must be solvable to
+// optimality and its solution must satisfy its own constraints — the
+// feasibility sanity check on the generators.
+func TestSmallInstancesSolveFeasibly(t *testing.T) {
+	for _, in := range All(3) {
+		if in.Size != Small {
+			continue
+		}
+		sol, err := in.P.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name(), err)
+		}
+		if sol.Status != lp.Optimal {
+			t.Fatalf("%s: status %v, want optimal", in.Name(), sol.Status)
+		}
+		if err := in.P.CheckFeasible(sol.X, 1e-6); err != nil {
+			t.Fatalf("%s: optimal point infeasible: %v", in.Name(), err)
+		}
+		switch in.Family {
+		case "te":
+			// Max-flow objective: some traffic must route.
+			if sol.Objective <= 0 {
+				t.Fatalf("te solved to %g, want positive flow", sol.Objective)
+			}
+		case "cluster":
+			// The epigraph t is variable 0 and equals the objective.
+			if sol.Objective <= 0 || sol.X[0] != sol.Objective {
+				t.Fatalf("cluster: objective %g, t %g", sol.Objective, sol.X[0])
+			}
+		case "lb":
+			// Movement cost is nonnegative by construction.
+			if sol.Objective < 0 {
+				t.Fatalf("lb solved to %g, want ≥ 0", sol.Objective)
+			}
+		}
+	}
+}
+
+func TestSizeStrings(t *testing.T) {
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Fatal("size strings drifted")
+	}
+	if got := (&Instance{Family: "te", Size: Large}).Name(); got != "te/large" {
+		t.Fatalf("Name = %q", got)
+	}
+	if n := len(Sizes()); n != 3 {
+		t.Fatalf("Sizes() has %d entries", n)
+	}
+}

@@ -248,6 +248,14 @@ type Solution struct {
 	// ReducedCost holds per-variable reduced costs (original orientation).
 	ReducedCost []float64
 	Iterations  int // total simplex pivots across both phases
+	// Basis is the final basis snapshot (optimal solves only), suitable for
+	// warm-starting a later solve via Options.WarmBasis.
+	Basis *Basis
+	// WarmStarted reports whether the solve actually started from
+	// Options.WarmBasis; false means the snapshot was rejected (dimension
+	// mismatch, singular, or unrepairably infeasible) and the solver ran a
+	// cold phase 1 instead.
+	WarmStarted bool
 }
 
 // SolverBackend selects the basis-factorization engine of the simplex.
@@ -345,6 +353,13 @@ type Options struct {
 	// cost and typically cuts iteration counts substantially on the
 	// allocation LPs in this repository.
 	Devex bool
+	// WarmBasis optionally seeds the solve from a basis snapshot, typically
+	// Solution.Basis of a previous solve of a similar problem. A snapshot
+	// that no longer fits (wrong dimensions, singular, or unrepairably
+	// infeasible after the data changed) is silently discarded in favour of
+	// a cold phase 1, so warm starts never change the solve outcome — only
+	// its speed. Works with both backends.
+	WarmBasis *Basis
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -383,9 +398,12 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	// Last line of the SparseLU fallback policy: if the sparse backend (or
 	// its mid-solve dense fallback) still ended in numerical failure,
 	// re-solve once from scratch with the dense backend, whose pivot
-	// sequence differs enough to escape most bad factorizations.
-	if sol.Status == Numerical && s.backend != Dense {
+	// sequence differs enough to escape most bad factorizations. A
+	// warm-started dense solve gets the same one retry (cold), so a stale
+	// basis can never change the solve outcome.
+	if sol.Status == Numerical && (s.backend != Dense || opts.WarmBasis != nil) {
 		opts.Backend = Dense
+		opts.WarmBasis = nil // a bad warm basis must not poison the retry
 		s = newSimplex(p, opts)
 		sol = s.solve()
 	}

@@ -57,6 +57,7 @@ type simplex struct {
 	degenerateRun  int
 	blandMode      bool
 	numericTrouble bool
+	warmStarted    bool
 }
 
 func newSimplex(p *Problem, opts Options) *simplex {
@@ -97,15 +98,27 @@ func (s *simplex) solve() *Solution {
 	if s.m == 0 {
 		return s.solveUnconstrained()
 	}
-	s.initPhase1()
-
-	if !s.initialFeasible() {
-		st := s.iterate()
-		if st == IterLimit || st == Numerical {
-			return s.failure(st)
+	if s.opts.WarmBasis != nil {
+		s.warmStarted = s.initWarm(s.opts.WarmBasis)
+		if !s.warmStarted {
+			// The cold fallback must behave exactly as if no warm basis had
+			// been supplied: give it back the full iteration budget and a
+			// clean trouble flag.
+			s.iters = 0
+			s.numericTrouble = false
 		}
-		if s.phase1Objective() > 1e2*s.opts.TolFeas*float64(1+s.m) {
-			return s.failure(Infeasible)
+	}
+	if !s.warmStarted {
+		s.initPhase1()
+
+		if !s.initialFeasible() {
+			st := s.iterate()
+			if st == IterLimit || st == Numerical {
+				return s.failure(st)
+			}
+			if s.phase1Objective() > 1e2*s.opts.TolFeas*float64(1+s.m) {
+				return s.failure(Infeasible)
+			}
 		}
 	}
 
@@ -659,6 +672,8 @@ func (s *simplex) extract() *Solution {
 		Dual:        make([]float64, s.m),
 		ReducedCost: make([]float64, n),
 		Iterations:  s.iters,
+		Basis:       s.snapshotBasis(),
+		WarmStarted: s.warmStarted,
 	}
 	for j := 0; j < n; j++ {
 		sol.X[j] = s.x[j]
@@ -693,7 +708,7 @@ func (s *simplex) extract() *Solution {
 
 func (s *simplex) failure(st Status) *Solution {
 	n := s.std.n
-	sol := &Solution{Status: st, Iterations: s.iters, X: make([]float64, n)}
+	sol := &Solution{Status: st, Iterations: s.iters, X: make([]float64, n), WarmStarted: s.warmStarted}
 	for j := 0; j < n && j < len(s.x); j++ {
 		sol.X[j] = s.x[j]
 	}

@@ -1,0 +1,349 @@
+package online
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"pop/internal/cluster"
+	"pop/internal/lp"
+)
+
+// ClusterPolicy selects the solo scheduling policy a ClusterEngine runs in
+// each sub-problem.
+type ClusterPolicy int8
+
+const (
+	// MaxMinFairness is the §4.1 heterogeneity-aware least-attained-service
+	// policy (no space sharing).
+	MaxMinFairness ClusterPolicy = iota
+	// MinMakespan is the §4.1 makespan-minimizing policy.
+	MinMakespan
+)
+
+func (p ClusterPolicy) String() string {
+	switch p {
+	case MaxMinFairness:
+		return "max-min-fairness"
+	case MinMakespan:
+		return "min-makespan"
+	}
+	return fmt.Sprintf("ClusterPolicy(%d)", int8(p))
+}
+
+// clusterSubResult caches one sub-problem's last allocation.
+type clusterSubResult struct {
+	ids       []int
+	index     map[int]int // id -> position in ids
+	alloc     *cluster.Allocation
+	objective float64
+}
+
+// ClusterEngine incrementally maintains a POP allocation for the solo GPU
+// scheduling policies: jobs arrive, depart, and change; the engine
+// re-solves only the dirtied sub-clusters, warm-starting each from its
+// previous basis. Not safe for concurrent use.
+type ClusterEngine struct {
+	t       *tracker
+	policy  ClusterPolicy
+	lpOpts  lp.Options
+	c       cluster.Cluster
+	sub     cluster.Cluster // c.Split(K)
+	haveC   bool
+	jobs    map[int]cluster.Job
+	results []*clusterSubResult
+}
+
+// NewClusterEngine creates an engine for cluster c running the given solo
+// policy with K sub-problems.
+func NewClusterEngine(c cluster.Cluster, policy ClusterPolicy, opts Options, lpOpts lp.Options) (*ClusterEngine, error) {
+	t, err := newTracker(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Max-min-style optima reshuffle when most members' data changes at
+	// once; beyond this churn the stale basis loses to a cold phase 1.
+	t.warmTouchLimit = 0.75
+	e := &ClusterEngine{
+		t:       t,
+		policy:  policy,
+		lpOpts:  lpOpts,
+		jobs:    make(map[int]cluster.Job),
+		results: make([]*clusterSubResult, opts.K),
+	}
+	e.SetCluster(c)
+	return e, nil
+}
+
+// SetCluster installs a new resource pool. A capacity change dirties every
+// sub-problem (each holds 1/k of every GPU type).
+func (e *ClusterEngine) SetCluster(c cluster.Cluster) {
+	if e.haveC && clustersEqual(e.c, c) {
+		return
+	}
+	e.c = c
+	e.sub = c.Split(e.t.opts.K)
+	e.haveC = true
+	e.t.markAllDirty()
+}
+
+func clustersEqual(a, b cluster.Cluster) bool {
+	if len(a.NumGPUs) != len(b.NumGPUs) {
+		return false
+	}
+	for i := range a.NumGPUs {
+		if a.NumGPUs[i] != b.NumGPUs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Upsert adds job j (keyed by j.ID) or applies a change to it. Unchanged
+// re-submissions are no-ops and dirty nothing.
+func (e *ClusterEngine) Upsert(j cluster.Job) {
+	if old, ok := e.jobs[j.ID]; ok {
+		if jobsEqual(old, j) {
+			return
+		}
+		e.jobs[j.ID] = j
+		e.t.upsert(j.ID, j.Scale)
+		e.t.touch(j.ID)
+		return
+	}
+	e.jobs[j.ID] = j
+	e.t.upsert(j.ID, j.Scale)
+}
+
+// Remove drops the job; survivors keep their sub-problems.
+func (e *ClusterEngine) Remove(id int) bool {
+	if _, ok := e.jobs[id]; !ok {
+		return false
+	}
+	delete(e.jobs, id)
+	return e.t.remove(id)
+}
+
+func jobsEqual(a, b cluster.Job) bool {
+	if a.Weight != b.Weight || a.Scale != b.Scale || a.NumSteps != b.NumSteps ||
+		a.Priority != b.Priority || a.MemFrac != b.MemFrac || len(a.Throughput) != len(b.Throughput) {
+		return false
+	}
+	for i := range a.Throughput {
+		if a.Throughput[i] != b.Throughput[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkAllDirty forces a full re-solve on the next Solve (benchmark and
+// testing hook).
+func (e *ClusterEngine) MarkAllDirty() { e.t.markAllDirty() }
+
+// NumJobs reports the number of jobs currently held.
+func (e *ClusterEngine) NumJobs() int { return len(e.jobs) }
+
+// Jobs returns the live jobs in ascending-ID order.
+func (e *ClusterEngine) Jobs() []cluster.Job {
+	out := make([]cluster.Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Cluster returns the current resource pool.
+func (e *ClusterEngine) Cluster() cluster.Cluster { return e.c }
+
+// Stats returns the engine's work counters.
+func (e *ClusterEngine) Stats() Stats { return e.t.stats }
+
+// clusterLayout is the remap contract of buildClusterLP.
+func (e *ClusterEngine) clusterLayout() BlockLayout {
+	r := e.sub.NumTypes()
+	return BlockLayout{VarsPerClient: r, RowsPerClient: 2, SharedVars: 1, SharedRows: r}
+}
+
+// Solve re-solves every dirty sub-problem, warm-started, leaving clean ones
+// untouched.
+func (e *ClusterEngine) Solve() error {
+	lay := e.clusterLayout()
+	return e.t.solveDirty(func(p int, ids []int, prevBasis *lp.Basis, prevIDs []int) (subReport, error) {
+		if len(ids) == 0 {
+			e.results[p] = &clusterSubResult{index: map[int]int{}}
+			return subReport{}, nil
+		}
+		members := make([]cluster.Job, len(ids))
+		for i, id := range ids {
+			members[i] = e.jobs[id]
+		}
+		warm := prevBasis
+		if warm != nil && !slices.Equal(prevIDs, ids) {
+			warm = RemapBasis(warm, lay, prevIDs, ids)
+		}
+		opts := e.lpOpts
+		opts.WarmBasis = warm
+		prob := buildClusterLP(e.policy, members, e.sub)
+		sol, err := prob.SolveWithOptions(opts)
+		if err != nil {
+			return subReport{}, err
+		}
+		if sol.Status != lp.Optimal {
+			return subReport{}, fmt.Errorf("%v LP %v", e.policy, sol.Status)
+		}
+		r := e.sub.NumTypes()
+		alloc := &cluster.Allocation{
+			X:           make([][]float64, len(ids)),
+			EffThr:      make([]float64, len(ids)),
+			LPVariables: prob.NumVariables(),
+		}
+		index := make(map[int]int, len(ids))
+		for i := range ids {
+			index[ids[i]] = i
+			alloc.X[i] = make([]float64, r)
+			copy(alloc.X[i], sol.X[i*r:(i+1)*r])
+			alloc.EffThr[i] = cluster.EffectiveThroughput(members[i], alloc.X[i])
+		}
+		e.results[p] = &clusterSubResult{
+			ids:       append([]int(nil), ids...),
+			index:     index,
+			alloc:     alloc,
+			objective: sol.Objective,
+		}
+		return subReport{basis: sol.Basis, warmStarted: sol.WarmStarted, iterations: sol.Iterations}, nil
+	})
+}
+
+// Objective sums the sub-problem objectives — a checksum the equivalence
+// tests compare against a cold full solve.
+func (e *ClusterEngine) Objective() float64 {
+	total := 0.0
+	for _, r := range e.results {
+		if r != nil {
+			total += r.objective
+		}
+	}
+	return total
+}
+
+// Step applies the diff between the engine's state and the given active set
+// (arrivals, changes, departures), re-solves incrementally, and returns the
+// allocation in active-set order. It is the bridge into round loops like
+// gavelsim's.
+func (e *ClusterEngine) Step(active []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+	e.SetCluster(c)
+	seen := make(map[int]bool, len(active))
+	for _, j := range active {
+		seen[j.ID] = true
+		e.Upsert(j)
+	}
+	var gone []int
+	for id := range e.jobs {
+		if !seen[id] {
+			gone = append(gone, id)
+		}
+	}
+	for _, id := range gone {
+		e.Remove(id)
+	}
+	if err := e.Solve(); err != nil {
+		return nil, err
+	}
+
+	out := &cluster.Allocation{
+		X:      make([][]float64, len(active)),
+		EffThr: make([]float64, len(active)),
+	}
+	counted := make([]bool, len(e.results))
+	for pos, j := range active {
+		p, ok := e.t.partOf[j.ID]
+		if !ok || e.results[p] == nil {
+			return nil, fmt.Errorf("online: job %d has no sub-problem result", j.ID)
+		}
+		res := e.results[p]
+		i, ok := res.index[j.ID]
+		if !ok {
+			return nil, fmt.Errorf("online: job %d missing from sub-problem %d result", j.ID, p)
+		}
+		// Copy: handing out the cached row would let a caller's in-place
+		// edits corrupt the allocation served on later clean rounds.
+		out.X[pos] = append([]float64(nil), res.alloc.X[i]...)
+		out.EffThr[pos] = res.alloc.EffThr[i]
+		if !counted[p] {
+			counted[p] = true
+			out.LPVariables += res.alloc.LPVariables
+		}
+	}
+	return out, nil
+}
+
+// Policy adapts the engine to gavelsim's round loop: each call diffs the
+// active set against engine state and re-solves incrementally. The returned
+// function has gavelsim.Policy's signature.
+func (e *ClusterEngine) Policy() func(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+	return func(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+		return e.Step(jobs, c)
+	}
+}
+
+// buildClusterLP assembles the solo policy epigraph LP in the remap-friendly
+// block layout: per job, r allocation variables then a time row and an
+// objective row; shared epigraph variable t and per-type capacity rows
+// trail. The formulations match cluster.MaxMinFairness / cluster.MinMakespan
+// (modulo row ordering, which changes neither feasible set nor optimum).
+func buildClusterLP(policy ClusterPolicy, members []cluster.Job, sub cluster.Cluster) *lp.Problem {
+	r := sub.NumTypes()
+	p := lp.NewProblem(lp.Maximize)
+	for range members {
+		p.AddVariables(r, 0, 0, 1)
+	}
+	tv := p.AddVariable(1, math.Inf(-1), lp.Inf, "t")
+
+	eq := cluster.EqualShare(members, sub)
+	for idx, j := range members {
+		vars := make([]int, r)
+		ones := make([]float64, r)
+		for i := 0; i < r; i++ {
+			vars[i] = idx*r + i
+			ones[i] = 1
+		}
+		p.AddConstraint(vars, ones, lp.LE, 1, "time")
+
+		var denom float64
+		switch policy {
+		case MinMakespan:
+			denom = j.NumSteps
+		default:
+			denom = j.Weight * cluster.EffectiveThroughput(j, eq[idx]) * j.Scale
+		}
+		if denom <= 0 {
+			// Degenerate job (no remaining steps, or zero equal-share
+			// throughput): the batch policies skip its row so it cannot
+			// constrain t; emit a vacuous row to keep the block layout.
+			p.AddConstraint(nil, nil, lp.LE, 0, "vacuous")
+			continue
+		}
+		idxs := make([]int, 0, r+1)
+		coefs := make([]float64, 0, r+1)
+		for i := 0; i < r; i++ {
+			idxs = append(idxs, idx*r+i)
+			coefs = append(coefs, j.Throughput[i]/denom)
+		}
+		idxs = append(idxs, tv)
+		coefs = append(coefs, -1)
+		p.AddConstraint(idxs, coefs, lp.GE, 0, "obj")
+	}
+	for i := 0; i < r; i++ {
+		idxs := make([]int, len(members))
+		coefs := make([]float64, len(members))
+		for idx, j := range members {
+			idxs[idx] = idx*r + i
+			coefs[idx] = j.Scale
+		}
+		p.AddConstraint(idxs, coefs, lp.LE, sub.NumGPUs[i], "gpus")
+	}
+	return p
+}

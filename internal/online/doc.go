@@ -1,0 +1,60 @@
+// Package online is the stateful incremental allocation engine: it keeps a
+// POP-partitioned problem alive across scheduling rounds, accepts deltas
+// (client arrive/depart, load change, resource capacity change), and
+// re-solves only the sub-problems the deltas touched, each warm-started
+// from its previous optimal basis. It is the round-loop driver behind
+// gavelsim's online policies, lb's online balancer, and cmd/popserver.
+//
+// # Stable partitions
+//
+// Where the batch POP adapters (cluster.SolvePOP, lb.SolvePOP) re-partition
+// clients from scratch every call, the engine repartitions minimally:
+//
+//   - a new client joins the sub-problem with the smallest current total
+//     load (ties: fewest members, then lowest index), and nothing else
+//     moves;
+//   - a departing client leaves its sub-problem; survivors keep both their
+//     sub-problem and their relative order inside it;
+//   - a load change keeps the client where it is.
+//
+// These invariants mean a delta dirties exactly one sub-problem (a resource
+// capacity change dirties all of them, since every sub-problem holds 1/k of
+// each resource), so a round's work is proportional to the number of
+// sub-problems actually touched. The price is partition drift: sub-problem
+// loads slowly diverge from the balanced split a fresh partitioning would
+// produce, trading a little allocation quality for minimal churn — the same
+// trade the paper's load balancer makes (§4.3) when it minimizes shard
+// movement instead of re-placing everything.
+//
+// # Warm-start contract
+//
+// Each sub-problem stores the lp.Basis snapshot of its last solve together
+// with the member list it was taken under. On re-solve:
+//
+//   - unchanged membership: the snapshot is passed directly as
+//     lp.Options.WarmBasis (only coefficients drifted, the shape is
+//     identical);
+//   - changed membership: the snapshot is remapped through the adapter's
+//     BlockLayout — survivors carry their per-client variable and row
+//     statuses over, newcomers enter nonbasic at their lower bounds with
+//     their rows' slacks basic, departed clients' blocks are dropped;
+//   - the lp solver owns correctness: a warm basis that is singular, the
+//     wrong shape, or unrepairably infeasible is discarded in favour of a
+//     cold phase 1 (Solution.WarmStarted reports which path ran), so warm
+//     starts change solve speed, never solve outcomes.
+//
+// Adapters therefore build their LPs in a remap-friendly layout: all
+// per-client variables first (a fixed-size block per client, in member
+// order), shared variables after; per-client rows first (fixed-size blocks,
+// same order), shared rows after.
+//
+// # Engines
+//
+// ClusterEngine runs the solo GPU-scheduling policies (max-min fairness,
+// minimize makespan) from §4.1; its Policy method adapts it to gavelsim's
+// round loop. LBEngine runs the §4.3 shard balancer on the continuous
+// relaxation (the MILP's integer search cannot reuse a simplex basis; the
+// relaxation is where the paper's round-over-round latency lives); its
+// Solver method plugs into lb.RunRounds. Engines are not safe for
+// concurrent use — callers like cmd/popserver serialize rounds themselves.
+package online

@@ -1,0 +1,311 @@
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"pop/internal/core"
+	"pop/internal/lp"
+)
+
+// Options configure an incremental engine.
+type Options struct {
+	// K is the number of POP sub-problems; required ≥ 1.
+	K int
+	// Parallel re-solves dirty sub-problems concurrently (the map step).
+	Parallel bool
+	// NoWarmStart disables warm-started re-solves, making every dirty
+	// sub-problem solve cold. Used for the cold baseline in benchmarks and
+	// the equivalence tests; production engines leave it false.
+	NoWarmStart bool
+}
+
+func (o Options) validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("online: K must be ≥ 1, got %d", o.K)
+	}
+	return nil
+}
+
+// Stats counts the engine's work since creation.
+type Stats struct {
+	// Rounds is the number of Solve calls.
+	Rounds int
+	// SubSolves counts dirty sub-problems actually re-solved.
+	SubSolves int
+	// SkippedClean counts sub-problems a round left untouched.
+	SkippedClean int
+	// WarmAttempts counts sub-solves handed a warm basis; WarmHits counts
+	// those where the solver accepted it (Solution.WarmStarted).
+	WarmAttempts, WarmHits int
+	// Iterations is the total simplex pivots across all sub-solves.
+	Iterations int
+	// Arrivals, Departures, and Updates count the applied deltas.
+	Arrivals, Departures, Updates int
+}
+
+// BlockLayout describes how an adapter assembles its sub-problem LP from
+// uniform per-client blocks plus shared trailing variables and rows. It is
+// the contract that makes basis snapshots remappable across membership
+// changes.
+type BlockLayout struct {
+	VarsPerClient int // leading variables: one block per client, member order
+	RowsPerClient int // leading rows: one block per client, member order
+	SharedVars    int // trailing variables (e.g. an epigraph t)
+	SharedRows    int // trailing rows (e.g. per-resource capacities)
+}
+
+func (l BlockLayout) numVars(clients int) int { return clients*l.VarsPerClient + l.SharedVars }
+func (l BlockLayout) numRows(clients int) int { return clients*l.RowsPerClient + l.SharedRows }
+
+// RemapBasis transfers a basis snapshot taken under member list prev onto
+// member list cur: surviving clients keep their block statuses, newcomers
+// enter nonbasic at their lower bounds with their rows' slacks basic, and
+// departed clients' blocks are dropped. Shared tails carry over unchanged.
+// It returns nil (cold start) when the snapshot does not match the layout.
+// The basic-variable count of the result rarely lands on exactly the row
+// count; lp's warm-start repair settles that.
+func RemapBasis(b *lp.Basis, lay BlockLayout, prev, cur []int) *lp.Basis {
+	if b == nil {
+		return nil
+	}
+	if len(b.VarStatus) != lay.numVars(len(prev)) || len(b.SlackStatus) != lay.numRows(len(prev)) {
+		return nil
+	}
+	at := make(map[int]int, len(prev))
+	for i, id := range prev {
+		at[id] = i
+	}
+	out := &lp.Basis{
+		VarStatus:   make([]lp.BasisStatus, lay.numVars(len(cur))),
+		SlackStatus: make([]lp.BasisStatus, lay.numRows(len(cur))),
+	}
+	for ci, id := range cur {
+		vDst := out.VarStatus[ci*lay.VarsPerClient : (ci+1)*lay.VarsPerClient]
+		rDst := out.SlackStatus[ci*lay.RowsPerClient : (ci+1)*lay.RowsPerClient]
+		if pi, ok := at[id]; ok {
+			copy(vDst, b.VarStatus[pi*lay.VarsPerClient:(pi+1)*lay.VarsPerClient])
+			copy(rDst, b.SlackStatus[pi*lay.RowsPerClient:(pi+1)*lay.RowsPerClient])
+			continue
+		}
+		for v := range vDst {
+			vDst[v] = lp.BasisLower
+		}
+		for r := range rDst {
+			rDst[r] = lp.BasisBasic
+		}
+	}
+	copy(out.VarStatus[len(cur)*lay.VarsPerClient:], b.VarStatus[len(prev)*lay.VarsPerClient:])
+	copy(out.SlackStatus[len(cur)*lay.RowsPerClient:], b.SlackStatus[len(prev)*lay.RowsPerClient:])
+	return out
+}
+
+// partition is the engine-internal state of one sub-problem.
+type partition struct {
+	ids   []int // members in stable (insertion) order
+	load  float64
+	dirty bool
+	// touched collects the members whose data changed since the last solve;
+	// it decides whether the stale basis still carries information.
+	touched map[int]struct{}
+
+	// basis is the snapshot of the last solve, taken under basisIDs.
+	basis    *lp.Basis
+	basisIDs []int
+}
+
+func (p *partition) markTouched(id int) {
+	if p.touched == nil {
+		p.touched = make(map[int]struct{})
+	}
+	p.touched[id] = struct{}{}
+}
+
+// tracker is the domain-independent heart of an engine: stable partitions,
+// dirty marking, warm-basis bookkeeping, and the dirty-only solve loop.
+type tracker struct {
+	opts   Options
+	parts  []*partition
+	partOf map[int]int
+	loadOf map[int]float64
+	stats  Stats
+	// warmTouchLimit is the largest fraction of members whose data may have
+	// changed for the stale basis to still be offered as a warm start.
+	// Adapters whose optimal bases survive wholesale coefficient refreshes
+	// (lb: movement costs anchor the assignment) leave it at 1; adapters
+	// whose optima reshuffle under refresh (cluster max-min: the binding
+	// minimum moves) tighten it.
+	warmTouchLimit float64
+}
+
+func newTracker(opts Options) (*tracker, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	t := &tracker{
+		opts:           opts,
+		parts:          make([]*partition, opts.K),
+		partOf:         make(map[int]int),
+		loadOf:         make(map[int]float64),
+		warmTouchLimit: 1,
+	}
+	for p := range t.parts {
+		t.parts[p] = &partition{}
+	}
+	return t, nil
+}
+
+// upsert places (or keeps) client id with partitioning weight load and
+// returns its partition. New clients go to the least-loaded sub-problem —
+// the stable-partition arrival rule.
+func (t *tracker) upsert(id int, load float64) int {
+	if p, ok := t.partOf[id]; ok {
+		t.parts[p].load += load - t.loadOf[id]
+		t.loadOf[id] = load
+		return p
+	}
+	best := 0
+	for p := 1; p < len(t.parts); p++ {
+		cand, cur := t.parts[p], t.parts[best]
+		if cand.load < cur.load || (cand.load == cur.load && len(cand.ids) < len(cur.ids)) {
+			best = p
+		}
+	}
+	t.parts[best].ids = append(t.parts[best].ids, id)
+	t.parts[best].load += load
+	t.partOf[id] = best
+	t.loadOf[id] = load
+	t.parts[best].dirty = true
+	t.parts[best].markTouched(id)
+	t.stats.Arrivals++
+	return best
+}
+
+// remove drops client id; survivors keep their partitions and order.
+func (t *tracker) remove(id int) bool {
+	p, ok := t.partOf[id]
+	if !ok {
+		return false
+	}
+	part := t.parts[p]
+	for i, m := range part.ids {
+		if m == id {
+			part.ids = append(part.ids[:i], part.ids[i+1:]...)
+			break
+		}
+	}
+	part.load -= t.loadOf[id]
+	part.dirty = true
+	delete(part.touched, id) // departed blocks drop from the remapped basis
+	delete(t.partOf, id)
+	delete(t.loadOf, id)
+	t.stats.Departures++
+	return true
+}
+
+// touch marks client id's sub-problem dirty (its data changed).
+func (t *tracker) touch(id int) {
+	if p, ok := t.partOf[id]; ok {
+		part := t.parts[p]
+		if _, seen := part.touched[id]; !seen {
+			t.stats.Updates++
+		}
+		part.dirty = true
+		part.markTouched(id)
+	}
+}
+
+// markAllDirty forces every sub-problem to re-solve next round (resource
+// capacity changes touch all sub-problems, which hold 1/k of each resource).
+func (t *tracker) markAllDirty() {
+	for _, part := range t.parts {
+		part.dirty = true
+	}
+}
+
+// subReport is what an adapter's per-partition solve returns to the loop.
+type subReport struct {
+	basis       *lp.Basis
+	warmStarted bool
+	iterations  int
+}
+
+// solveDirty runs solve for every dirty partition (concurrently when
+// configured), handing each its previous basis snapshot for warm-starting,
+// and books the results. Clean partitions are skipped entirely — their
+// cached results stand.
+func (t *tracker) solveDirty(solve func(p int, ids []int, prevBasis *lp.Basis, prevIDs []int) (subReport, error)) error {
+	t.stats.Rounds++
+	var dirty []int
+	for p, part := range t.parts {
+		if part.dirty {
+			dirty = append(dirty, p)
+		}
+	}
+	t.stats.SkippedClean += len(t.parts) - len(dirty)
+	if len(dirty) == 0 {
+		return nil
+	}
+	reports := make([]subReport, len(dirty))
+	warmGiven := make([]bool, len(dirty))
+	err := core.ParallelMap(len(dirty), t.opts.Parallel, func(i int) error {
+		p := dirty[i]
+		part := t.parts[p]
+		var warm *lp.Basis
+		var prevIDs []int
+		// A stale basis only carries information when most members survived
+		// AND (per warmTouchLimit) enough members' data is unchanged; heavy
+		// churn makes a cold phase 1 the better start.
+		unchanged := len(part.ids) == 0 ||
+			float64(len(part.touched)) <= t.warmTouchLimit*float64(len(part.ids))
+		if !t.opts.NoWarmStart && part.basis != nil && unchanged &&
+			overlap(part.basisIDs, part.ids) >= 0.5 {
+			warm = part.basis
+			prevIDs = part.basisIDs
+			warmGiven[i] = true
+		}
+		rep, err := solve(p, part.ids, warm, prevIDs)
+		if err != nil {
+			return fmt.Errorf("online: sub-problem %d: %w", p, err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, p := range dirty {
+		part := t.parts[p]
+		part.dirty = false
+		part.touched = nil
+		part.basis = reports[i].basis
+		part.basisIDs = append([]int(nil), part.ids...)
+		t.stats.SubSolves++
+		if warmGiven[i] {
+			t.stats.WarmAttempts++
+			if reports[i].warmStarted {
+				t.stats.WarmHits++
+			}
+		}
+		t.stats.Iterations += reports[i].iterations
+	}
+	return nil
+}
+
+// overlap is the fraction of the larger set shared by both id lists.
+func overlap(a, b []int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	in := make(map[int]bool, len(a))
+	for _, id := range a {
+		in[id] = true
+	}
+	shared := 0
+	for _, id := range b {
+		if in[id] {
+			shared++
+		}
+	}
+	return float64(shared) / math.Max(float64(len(a)), float64(len(b)))
+}

@@ -1,0 +1,287 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pop/internal/cluster"
+	"pop/internal/lp"
+)
+
+func approxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// driveRandomDeltas applies one random round of deltas to both engines
+// identically: arrivals, departures, and weight changes.
+func driveRandomDeltas(rng *rand.Rand, engines []*ClusterEngine, pool []cluster.Job, live map[int]cluster.Job, nextID *int) {
+	ops := 1 + rng.Intn(6)
+	for o := 0; o < ops; o++ {
+		switch {
+		case len(live) == 0 || rng.Float64() < 0.4:
+			j := pool[rng.Intn(len(pool))]
+			j.ID = *nextID
+			*nextID++
+			live[j.ID] = j
+			for _, e := range engines {
+				e.Upsert(j)
+			}
+		case rng.Float64() < 0.5:
+			id := anyKey(rng, live)
+			delete(live, id)
+			for _, e := range engines {
+				e.Remove(id)
+			}
+		default:
+			id := anyKey(rng, live)
+			j := live[id]
+			j.Weight *= 0.5 + rng.Float64()
+			live[id] = j
+			for _, e := range engines {
+				e.Upsert(j)
+			}
+		}
+	}
+}
+
+func anyKey(rng *rand.Rand, m map[int]cluster.Job) int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Deterministic order before the random draw.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys[rng.Intn(len(keys))]
+}
+
+// TestClusterEngineMatchesColdFullSolve is the acceptance-criterion test:
+// across ≥50 randomized delta sequences, the incremental warm-started
+// engine must match a cold full solve (same partitions, no warm start, all
+// sub-problems re-solved) to 1e-6 on the objective, every round.
+func TestClusterEngineMatchesColdFullSolve(t *testing.T) {
+	sequences := 50
+	rounds := 4
+	if testing.Short() {
+		sequences = 12
+	}
+	c := cluster.NewCluster(12, 12, 12)
+	pool := cluster.GenerateJobs(64, 9, 0.2)
+	totalWarmHits := 0
+	for seq := 0; seq < sequences; seq++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seq)))
+		warm, err := NewClusterEngine(c, MaxMinFairness, Options{K: 4}, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewClusterEngine(c, MaxMinFairness, Options{K: 4, NoWarmStart: true}, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[int]cluster.Job{}
+		nextID := 0
+		// Seed a base workload so sub-problems are non-trivial from round 0.
+		for b := 0; b < 24; b++ {
+			j := pool[rng.Intn(len(pool))]
+			j.ID = nextID
+			nextID++
+			live[j.ID] = j
+			warm.Upsert(j)
+			cold.Upsert(j)
+		}
+		for round := 0; round < rounds; round++ {
+			driveRandomDeltas(rng, []*ClusterEngine{warm, cold}, pool, live, &nextID)
+			if err := warm.Solve(); err != nil {
+				t.Fatalf("seq %d round %d warm: %v", seq, round, err)
+			}
+			cold.MarkAllDirty()
+			if err := cold.Solve(); err != nil {
+				t.Fatalf("seq %d round %d cold: %v", seq, round, err)
+			}
+			if w, cobj := warm.Objective(), cold.Objective(); !approxEq(w, cobj, 1e-6) {
+				t.Fatalf("seq %d round %d: warm objective %.12g != cold %.12g", seq, round, w, cobj)
+			}
+		}
+		totalWarmHits += warm.Stats().WarmHits
+	}
+	if totalWarmHits == 0 {
+		t.Fatal("warm engine never actually warm-started; the incremental path is dead")
+	}
+}
+
+// TestClusterEngineSkipsCleanSubProblems: deltas confined to one
+// sub-problem must not re-solve the others.
+func TestClusterEngineSkipsCleanSubProblems(t *testing.T) {
+	c := cluster.NewCluster(8, 8, 8)
+	e, err := NewClusterEngine(c, MaxMinFairness, Options{K: 4}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := cluster.GenerateJobs(20, 3, 0)
+	for _, j := range jobs {
+		e.Upsert(j)
+	}
+	if err := e.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	base := e.Stats()
+	if base.SubSolves != 4 {
+		t.Fatalf("first round solved %d sub-problems, want 4", base.SubSolves)
+	}
+
+	// One weight change dirties exactly one sub-problem.
+	j := jobs[7]
+	j.Weight = 3
+	e.Upsert(j)
+	if err := e.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if got := s.SubSolves - base.SubSolves; got != 1 {
+		t.Fatalf("after one-job delta, %d sub-problems re-solved, want 1", got)
+	}
+	if got := s.SkippedClean - base.SkippedClean; got != 3 {
+		t.Fatalf("after one-job delta, %d sub-problems skipped, want 3", got)
+	}
+
+	// No deltas at all: nothing solves.
+	if err := e.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().SubSolves - s.SubSolves; got != 0 {
+		t.Fatalf("idle round re-solved %d sub-problems", got)
+	}
+
+	// A capacity change dirties everything.
+	e.SetCluster(cluster.NewCluster(8, 8, 16))
+	if err := e.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().SubSolves - e.Stats().Rounds; got < 0 {
+		t.Fatal("stats accounting broke")
+	}
+	if got := e.Stats().SubSolves - s.SubSolves; got != 4 {
+		t.Fatalf("after capacity change, %d sub-problems re-solved, want 4", got)
+	}
+}
+
+// TestStablePartitionInvariants: arrivals go to the least-loaded
+// sub-problem; departures never move survivors; updates never migrate.
+func TestStablePartitionInvariants(t *testing.T) {
+	tr, err := newTracker(Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights chosen so placement is forced: 5 → p0; 3 → p1; 1 → p2;
+	// next (1) goes to p2 again (load 2 < 3 < 5).
+	if p := tr.upsert(0, 5); p != 0 {
+		t.Fatalf("first arrival to %d, want 0", p)
+	}
+	if p := tr.upsert(1, 3); p != 1 {
+		t.Fatalf("second arrival to %d, want 1", p)
+	}
+	if p := tr.upsert(2, 1); p != 2 {
+		t.Fatalf("third arrival to %d, want 2", p)
+	}
+	if p := tr.upsert(3, 1); p != 2 {
+		t.Fatalf("fourth arrival to %d, want 2 (least loaded)", p)
+	}
+	before := map[int]int{}
+	for id, p := range tr.partOf {
+		before[id] = p
+	}
+	// Departure: survivors stay put.
+	tr.remove(1)
+	for id, p := range tr.partOf {
+		if before[id] != p {
+			t.Fatalf("departure moved survivor %d: %d → %d", id, before[id], p)
+		}
+	}
+	// Update: weight change does not migrate.
+	if p := tr.upsert(0, 0.1); p != 0 {
+		t.Fatalf("update migrated client 0 to %d", p)
+	}
+	// New arrival lands on the now-emptiest sub-problem (p1, load 0).
+	if p := tr.upsert(9, 1); p != 1 {
+		t.Fatalf("arrival after departure to %d, want 1", p)
+	}
+	// Order inside a partition is stable.
+	if got := tr.parts[2].ids; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("partition 2 order drifted: %v", got)
+	}
+}
+
+func TestRemapBasis(t *testing.T) {
+	lay := BlockLayout{VarsPerClient: 2, RowsPerClient: 1, SharedVars: 1, SharedRows: 2}
+	b := &lp.Basis{
+		// clients 10, 20 then shared var
+		VarStatus:   []lp.BasisStatus{lp.BasisBasic, lp.BasisLower, lp.BasisUpper, lp.BasisBasic, lp.BasisFree},
+		SlackStatus: []lp.BasisStatus{lp.BasisLower, lp.BasisBasic, lp.BasisUpper, lp.BasisBasic},
+	}
+	// 20 survives (shifted to slot 0), 10 departs, 30 arrives.
+	out := RemapBasis(b, lay, []int{10, 20}, []int{20, 30})
+	wantVars := []lp.BasisStatus{lp.BasisUpper, lp.BasisBasic, lp.BasisLower, lp.BasisLower, lp.BasisFree}
+	wantRows := []lp.BasisStatus{lp.BasisBasic, lp.BasisBasic, lp.BasisUpper, lp.BasisBasic}
+	for i, w := range wantVars {
+		if out.VarStatus[i] != w {
+			t.Fatalf("VarStatus[%d] = %v, want %v (%v)", i, out.VarStatus[i], w, out.VarStatus)
+		}
+	}
+	for i, w := range wantRows {
+		if out.SlackStatus[i] != w {
+			t.Fatalf("SlackStatus[%d] = %v, want %v (%v)", i, out.SlackStatus[i], w, out.SlackStatus)
+		}
+	}
+	if RemapBasis(nil, lay, nil, nil) != nil {
+		t.Fatal("nil basis should remap to nil")
+	}
+	if RemapBasis(b, lay, []int{10}, []int{10}) != nil {
+		t.Fatal("dimension mismatch should remap to nil")
+	}
+}
+
+// TestClusterEngineAllocationFeasible: the composed allocation must satisfy
+// the full cluster's budgets (sub-cluster capacities sum to the original).
+func TestClusterEngineAllocationFeasible(t *testing.T) {
+	c := cluster.NewCluster(10, 10, 10)
+	e, err := NewClusterEngine(c, MinMakespan, Options{K: 3, Parallel: true}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := cluster.GenerateJobs(30, 17, 0.3)
+	alloc, err := e.Step(jobs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.VerifyFeasible(jobs, c, alloc, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the active set; the composed allocation must track it.
+	alloc, err = e.Step(jobs[:11], c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.EffThr) != 11 {
+		t.Fatalf("allocation has %d rows, want 11", len(alloc.EffThr))
+	}
+	if err := cluster.VerifyFeasible(jobs[:11], c, alloc, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Departures != 19 {
+		t.Fatalf("departures = %d, want 19", st.Departures)
+	}
+}
+
+func TestEngineOptionValidation(t *testing.T) {
+	if _, err := NewClusterEngine(cluster.NewCluster(1, 1, 1), MaxMinFairness, Options{K: 0}, lp.Options{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewLBEngine(Options{K: -1}, lp.Options{}); err == nil {
+		t.Fatal("K=-1 accepted")
+	}
+}

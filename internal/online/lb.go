@@ -1,0 +1,355 @@
+package online
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"pop/internal/core"
+	"pop/internal/lb"
+	"pop/internal/lp"
+)
+
+// lbSubResult caches one sub-problem's last assignment, in local (member,
+// partition-server) coordinates.
+type lbSubResult struct {
+	ids       []int
+	index     map[int]int
+	frac      [][]float64
+	placed    [][]bool
+	objective float64
+	variables int
+	optimal   bool
+}
+
+// LBEngine incrementally maintains a POP shard-balancing assignment on the
+// continuous relaxation of the §4.3 formulation: shard load changes dirty
+// only their own sub-problem, which is re-solved warm-started from its
+// previous basis. Servers are split across sub-problems once, at the first
+// Step. Not safe for concurrent use.
+type LBEngine struct {
+	t       *tracker
+	lpOpts  lp.Options
+	servers []lb.Server
+	groups  [][]int // partition -> indices into servers
+	shards  map[int]lb.Shard
+	// placed[id] is the shard's current placement over its partition's
+	// servers (local order) — the cost anchor of the movement objective.
+	placed  map[int][]bool
+	results []*lbSubResult
+	tolFrac float64
+	haveTol bool
+}
+
+// NewLBEngine creates a shard-balancing engine with K sub-problems.
+func NewLBEngine(opts Options, lpOpts lp.Options) (*LBEngine, error) {
+	t, err := newTracker(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &LBEngine{
+		t:       t,
+		lpOpts:  lpOpts,
+		shards:  make(map[int]lb.Shard),
+		placed:  make(map[int][]bool),
+		results: make([]*lbSubResult, opts.K),
+	}, nil
+}
+
+// Stats returns the engine's work counters.
+func (e *LBEngine) Stats() Stats { return e.t.stats }
+
+// MarkAllDirty forces a full re-solve on the next Step (benchmark and
+// testing hook).
+func (e *LBEngine) MarkAllDirty() { e.t.markAllDirty() }
+
+// Objective sums the sub-problem objectives (relaxed moved bytes) — the
+// checksum the equivalence tests compare against a cold full solve.
+func (e *LBEngine) Objective() float64 {
+	total := 0.0
+	for _, r := range e.results {
+		if r != nil {
+			total += r.objective
+		}
+	}
+	return total
+}
+
+// syncServers (re)installs the server pool. Any capacity change dirties
+// every sub-problem.
+func (e *LBEngine) syncServers(servers []lb.Server) error {
+	k := e.t.opts.K
+	if len(servers) < k {
+		return fmt.Errorf("online: %d servers cannot back %d sub-problems", len(servers), k)
+	}
+	if slices.Equal(e.servers, servers) {
+		return nil
+	}
+	e.servers = append([]lb.Server(nil), servers...)
+	e.groups = core.Partition(len(servers), k, core.RoundRobin, 0, nil)
+	e.t.markAllDirty()
+	return nil
+}
+
+// Step diffs the instance against engine state (shard arrivals, departures,
+// load/memory changes, placement drift, server changes), re-solves the
+// dirtied sub-problems warm-started, and returns the composed assignment in
+// the instance's coordinates. It has lb.Solver's shape via Solver.
+func (e *LBEngine) Step(inst *lb.Instance) (*lb.Assignment, error) {
+	if len(inst.Shards) == 0 || len(inst.Servers) == 0 {
+		return nil, fmt.Errorf("online: empty instance")
+	}
+	if err := e.syncServers(inst.Servers); err != nil {
+		return nil, err
+	}
+	if !e.haveTol || e.tolFrac != inst.TolFrac {
+		if e.haveTol {
+			e.t.markAllDirty()
+		}
+		e.tolFrac = inst.TolFrac
+		e.haveTol = true
+	}
+
+	// Shard arrivals and changes.
+	seen := make(map[int]bool, len(inst.Shards))
+	rowOf := make(map[int]int, len(inst.Shards))
+	for row, s := range inst.Shards {
+		seen[s.ID] = true
+		rowOf[s.ID] = row
+		old, ok := e.shards[s.ID]
+		e.shards[s.ID] = s
+		p := e.t.upsert(s.ID, s.Load)
+		if ok && (old.Load != s.Load || old.Mem != s.Mem) {
+			e.t.touch(s.ID)
+		}
+		// Placement drift dirties too: it anchors the movement costs.
+		local := localPlacement(inst.Placement[row], e.groups[p])
+		if ok && !slices.Equal(e.placed[s.ID], local) {
+			e.t.touch(s.ID)
+		}
+		e.placed[s.ID] = local
+	}
+	// Departures.
+	var gone []int
+	for id := range e.shards {
+		if !seen[id] {
+			gone = append(gone, id)
+		}
+	}
+	for _, id := range gone {
+		delete(e.shards, id)
+		delete(e.placed, id)
+		e.t.remove(id)
+	}
+
+	if err := e.solve(); err != nil {
+		return nil, err
+	}
+	return e.compose(inst, rowOf)
+}
+
+// Solver adapts the engine to lb.RunRounds' round loop.
+func (e *LBEngine) Solver() lb.Solver {
+	return func(inst *lb.Instance) (*lb.Assignment, error) { return e.Step(inst) }
+}
+
+func localPlacement(full []bool, group []int) []bool {
+	out := make([]bool, len(group))
+	for li, j := range group {
+		out[li] = full[j]
+	}
+	return out
+}
+
+// solve re-solves the dirty sub-problems on the relaxed §4.3 formulation,
+// falling back to the greedy when a sub-problem's band is infeasible.
+func (e *LBEngine) solve() error {
+	return e.t.solveDirty(func(p int, ids []int, prevBasis *lp.Basis, prevIDs []int) (subReport, error) {
+		group := e.groups[p]
+		mS := len(group)
+		if len(ids) == 0 {
+			e.results[p] = &lbSubResult{index: map[int]int{}, optimal: true}
+			return subReport{}, nil
+		}
+		lay := BlockLayout{VarsPerClient: 2 * mS, RowsPerClient: mS + 1, SharedVars: 0, SharedRows: 3 * mS}
+		warm := prevBasis
+		if warm != nil && !slices.Equal(prevIDs, ids) {
+			warm = RemapBasis(warm, lay, prevIDs, ids)
+		}
+
+		members := make([]lb.Shard, len(ids))
+		placement := make([][]bool, len(ids))
+		for i, id := range ids {
+			members[i] = e.shards[id]
+			placement[i] = e.placed[id]
+		}
+		prob := buildLBRelaxation(members, placement, e.subServers(p), e.tolFrac)
+		opts := e.lpOpts
+		opts.WarmBasis = warm
+		sol, err := prob.SolveWithOptions(opts)
+		if err != nil {
+			return subReport{}, err
+		}
+
+		res := &lbSubResult{
+			ids:       append([]int(nil), ids...),
+			index:     make(map[int]int, len(ids)),
+			frac:      make([][]float64, len(ids)),
+			placed:    make([][]bool, len(ids)),
+			variables: prob.NumVariables(),
+		}
+		for i, id := range ids {
+			res.index[id] = i
+		}
+		if sol.Status != lp.Optimal {
+			// Band infeasible in this sub-problem: greedy best effort, like
+			// the batch solvers do.
+			g := lb.SolveGreedy(e.subInstance(members, placement, p))
+			res.frac, res.placed = g.Frac, g.Placed
+			res.objective = g.MovedBytes
+			e.results[p] = res
+			return subReport{}, nil
+		}
+		for i := range ids {
+			res.frac[i] = make([]float64, mS)
+			res.placed[i] = make([]bool, mS)
+			base := i * 2 * mS
+			for s := 0; s < mS; s++ {
+				res.frac[i][s] = sol.X[base+s]
+				res.placed[i][s] = sol.X[base+s] > 1e-6
+			}
+		}
+		res.objective = sol.Objective
+		res.optimal = true
+		e.results[p] = res
+		return subReport{basis: sol.Basis, warmStarted: sol.WarmStarted, iterations: sol.Iterations}, nil
+	})
+}
+
+func (e *LBEngine) subServers(p int) []lb.Server {
+	out := make([]lb.Server, len(e.groups[p]))
+	for li, j := range e.groups[p] {
+		out[li] = e.servers[j]
+	}
+	return out
+}
+
+func (e *LBEngine) subInstance(members []lb.Shard, placement [][]bool, p int) *lb.Instance {
+	sub := &lb.Instance{
+		Shards:    members,
+		Servers:   e.subServers(p),
+		TolFrac:   e.tolFrac,
+		Placement: placement,
+	}
+	return sub
+}
+
+// compose stitches the per-partition local assignments back onto the
+// instance's (shard row, server column) coordinates and computes the
+// round's movement and deviation metrics.
+func (e *LBEngine) compose(inst *lb.Instance, rowOf map[int]int) (*lb.Assignment, error) {
+	n, m := len(inst.Shards), len(inst.Servers)
+	out := &lb.Assignment{
+		Frac:    make([][]float64, n),
+		Placed:  make([][]bool, n),
+		Optimal: true,
+	}
+	for i := 0; i < n; i++ {
+		out.Frac[i] = make([]float64, m)
+		out.Placed[i] = make([]bool, m)
+	}
+	for p, res := range e.results {
+		if res == nil {
+			continue
+		}
+		out.Variables += res.variables
+		out.Optimal = out.Optimal && res.optimal
+		for li, id := range res.ids {
+			row, ok := rowOf[id]
+			if !ok {
+				return nil, fmt.Errorf("online: stale shard %d in sub-problem %d", id, p)
+			}
+			for ls, j := range e.groups[p] {
+				out.Frac[row][j] = res.frac[li][ls]
+				out.Placed[row][j] = res.placed[li][ls]
+			}
+		}
+	}
+
+	L := inst.AvgLoad()
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if out.Placed[i][j] && !inst.Placement[i][j] {
+				out.Movements++
+				out.MovedBytes += inst.Shards[i].Mem
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		load := 0.0
+		for i := 0; i < n; i++ {
+			load += out.Frac[i][j] * inst.Shards[i].Load
+		}
+		if dev := math.Abs(load-L) / L; dev > out.MaxDeviation {
+			out.MaxDeviation = dev
+		}
+	}
+	return out, nil
+}
+
+// buildLBRelaxation assembles the relaxed §4.3 LP in the remap-friendly
+// block layout. Per shard: mS serving fractions then mS placement
+// indicators (variables), mS linking rows then the coverage row; shared
+// per-server band and memory rows trail.
+func buildLBRelaxation(members []lb.Shard, placement [][]bool, servers []lb.Server, tolFrac float64) *lp.Problem {
+	n, mS := len(members), len(servers)
+	total := 0.0
+	for _, s := range members {
+		total += s.Load
+	}
+	L := total / float64(mS)
+	eps := tolFrac * L
+
+	p := lp.NewProblem(lp.Minimize)
+	for i, s := range members {
+		p.AddVariables(mS, 0, 0, 1) // serving fractions a_{i,*}
+		for j := 0; j < mS; j++ {   // placement indicators m_{i,*}
+			cost := s.Mem
+			if placement[i][j] {
+				cost = 0
+			}
+			p.AddVariable(cost, 0, 1, "")
+		}
+	}
+	aVar := func(i, j int) int { return i*2*mS + j }
+	mVar := func(i, j int) int { return i*2*mS + mS + j }
+
+	for i := range members {
+		for j := 0; j < mS; j++ {
+			p.AddConstraint([]int{aVar(i, j), mVar(i, j)}, []float64{1, -1}, lp.LE, 0, "link")
+		}
+		idxs := make([]int, mS)
+		ones := make([]float64, mS)
+		for j := 0; j < mS; j++ {
+			idxs[j] = aVar(i, j)
+			ones[j] = 1
+		}
+		p.AddConstraint(idxs, ones, lp.EQ, 1, "cover")
+	}
+	for j := 0; j < mS; j++ {
+		idxs := make([]int, n)
+		loads := make([]float64, n)
+		midx := make([]int, n)
+		mems := make([]float64, n)
+		for i, s := range members {
+			idxs[i] = aVar(i, j)
+			loads[i] = s.Load
+			midx[i] = mVar(i, j)
+			mems[i] = s.Mem
+		}
+		p.AddConstraint(idxs, loads, lp.LE, L+eps, "loadhi")
+		p.AddConstraint(idxs, loads, lp.GE, L-eps, "loadlo")
+		p.AddConstraint(midx, mems, lp.LE, servers[j].MemCap, "mem")
+	}
+	return p
+}
