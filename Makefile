@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt-check bench-lp bench-online bench ci
+.PHONY: all build test test-short test-race vet lint fmt-check bench-lp bench-online bench ci
 
 all: build
 
@@ -18,6 +18,15 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs vet plus staticcheck when it is installed (CI installs it in a
+# dedicated non-blocking job; locally it is optional).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
+	fi
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -1,7 +1,12 @@
-// Command onlinebench measures the online allocation engine: warm
-// incremental re-solve latency against a cold full re-solve over
-// cluster- and lb-shaped round sequences, swept across dirty fractions
-// (the share of clients whose data changes per round). It writes a JSON
+// Command onlinebench measures the online allocation engine: per-round
+// latency of the persistent-model mutation path (mutate in place, re-solve
+// warm or via the dual simplex) against a cold rebuild-and-solve baseline,
+// over cluster- and lb-shaped round sequences swept across dirty fractions
+// (the share of clients whose data changes per round), plus a full-dirty
+// capacity-jitter sequence whose rhs-only deltas ride the dual simplex.
+// Each record splits the per-round time into model build/mutation time and
+// LP pivot time, so the constant-factor win of mutate-over-rebuild is
+// visible next to the pivot win of warm/dual starts. It writes a JSON
 // regression record (BENCH_online.json via `make bench-online`) so every
 // PR has an online-path perf trajectory to compare against.
 //
@@ -37,8 +42,18 @@ type record struct {
 	WarmSubSolves int     `json:"warm_sub_solves"`
 	ColdSubSolves int     `json:"cold_sub_solves"`
 	WarmHits      int     `json:"warm_hits"`
-	ObjAgree      bool    `json:"objectives_agree"`
-	MaxObjDelta   float64 `json:"max_obj_delta"`
+	// Per-round build (model construction/mutation) vs pivot (LP solver)
+	// time split, from the engines' own accounting of the timed rounds.
+	WarmBuildNs int64 `json:"warm_build_ns_per_round"`
+	WarmPivotNs int64 `json:"warm_pivot_ns_per_round"`
+	ColdBuildNs int64 `json:"cold_build_ns_per_round"`
+	ColdPivotNs int64 `json:"cold_pivot_ns_per_round"`
+	// DualPivots counts dual simplex pivots across the warm engine's timed
+	// rounds — nonzero only where deltas were rhs/bound-only.
+	DualPivots int  `json:"warm_dual_pivots"`
+	ObjAgree   bool `json:"objectives_agree"`
+	// MaxObjDelta is the largest |warm - cold| objective gap seen.
+	MaxObjDelta float64 `json:"max_obj_delta"`
 }
 
 type report struct {
@@ -67,15 +82,18 @@ func main() {
 	for _, f := range fracs {
 		rep.Records = append(rep.Records, benchCluster(f, *rounds, *reps, *seed))
 	}
+	rep.Records = append(rep.Records, benchCapacity(*rounds, *reps, *seed))
 	for _, f := range fracs {
 		rep.Records = append(rep.Records, benchLB(f, *rounds, *reps, *seed))
 	}
 
 	logGeo := 0.0
 	for _, r := range rep.Records {
-		fmt.Fprintf(os.Stderr, "%-8s clients=%-4d k=%-2d dirty=%-5.2f cold=%-12v warm=%-12v speedup=%.2fx agree=%v\n",
+		fmt.Fprintf(os.Stderr, "%-11s clients=%-4d k=%-2d dirty=%-5.2f cold=%-12v warm=%-12v (build %-10v pivot %-10v dual=%-4d) speedup=%.2fx agree=%v\n",
 			r.Family, r.Clients, r.K, r.DirtyFrac,
-			time.Duration(r.ColdNsPerRnd), time.Duration(r.WarmNsPerRnd), r.Speedup, r.ObjAgree)
+			time.Duration(r.ColdNsPerRnd), time.Duration(r.WarmNsPerRnd),
+			time.Duration(r.WarmBuildNs), time.Duration(r.WarmPivotNs), r.DualPivots,
+			r.Speedup, r.ObjAgree)
 		logGeo += math.Log(r.Speedup)
 	}
 	rep.GeomeanSpeedup = math.Exp(logGeo / float64(len(rep.Records)))
@@ -104,9 +122,41 @@ func die(err error) {
 	}
 }
 
+// split captures the engine-side accounting of a timed window.
+type split struct {
+	subSolves, warmHits, dualPivots int
+	buildNs, solveNs                int64
+}
+
+func delta(after, before online.Stats) split {
+	return split{
+		subSolves:  after.SubSolves - before.SubSolves,
+		warmHits:   after.WarmHits - before.WarmHits,
+		dualPivots: after.DualPivots - before.DualPivots,
+		buildNs:    after.BuildNs - before.BuildNs,
+		solveNs:    after.SolveNs - before.SolveNs,
+	}
+}
+
+// bookWarm and bookCold store the engine-side split of the best repetition
+// into the record.
+func bookWarm(rec *record, s split, rounds int) {
+	rec.WarmSubSolves = s.subSolves
+	rec.WarmHits = s.warmHits
+	rec.DualPivots = s.dualPivots
+	rec.WarmBuildNs = s.buildNs / int64(rounds)
+	rec.WarmPivotNs = s.solveNs / int64(rounds)
+}
+
+func bookCold(rec *record, s split, rounds int) {
+	rec.ColdSubSolves = s.subSolves
+	rec.ColdBuildNs = s.buildNs / int64(rounds)
+	rec.ColdPivotNs = s.solveNs / int64(rounds)
+}
+
 // benchCluster replays a job-churn round sequence (weight changes and
-// depart+arrive churn over dirtyFrac of the jobs) against a warm
-// incremental engine and a cold full-solve engine.
+// depart+arrive churn over dirtyFrac of the jobs) against a mutate-in-place
+// engine and a cold rebuild engine.
 func benchCluster(dirtyFrac float64, rounds, reps int, seed int64) record {
 	const nJobs, k = 192, 8
 	c := cluster.NewCluster(48, 48, 48)
@@ -131,6 +181,7 @@ func benchCluster(dirtyFrac float64, rounds, reps int, seed int64) record {
 		die(warm.Solve())
 		cold.MarkAllDirty()
 		die(cold.Solve())
+		warm0, cold0 := warm.Stats(), cold.Stats()
 
 		var warmNs, coldNs int64
 		for round := 0; round < rounds; round++ {
@@ -165,13 +216,80 @@ func benchCluster(dirtyFrac float64, rounds, reps int, seed int64) record {
 		}
 		if warmNs < bestWarm {
 			bestWarm = warmNs
-			s := warm.Stats()
-			rec.WarmSubSolves = s.SubSolves
-			rec.WarmHits = s.WarmHits
+			bookWarm(&rec, delta(warm.Stats(), warm0), rounds)
 		}
 		if coldNs < bestCold {
 			bestCold = coldNs
-			rec.ColdSubSolves = cold.Stats().SubSolves
+			bookCold(&rec, delta(cold.Stats(), cold0), rounds)
+		}
+	}
+	rec.WarmNsPerRnd = bestWarm / int64(rounds)
+	rec.ColdNsPerRnd = bestCold / int64(rounds)
+	rec.ObjAgree = rec.MaxObjDelta <= 1e-6
+	if rec.WarmNsPerRnd > 0 {
+		rec.Speedup = float64(rec.ColdNsPerRnd) / float64(rec.WarmNsPerRnd)
+	}
+	return rec
+}
+
+// benchCapacity replays the autoscaling regime: every round the cluster's
+// capacity jitters, dirtying all sub-problems at once — but the deltas are
+// pure right-hand sides under MinMakespan, so the mutation engine re-solves
+// each sub-problem with a handful of dual simplex pivots from the previous
+// basis while the cold engine rebuilds and runs phase 1 from scratch. This
+// is the full-dirty sweep the dual simplex exists for.
+func benchCapacity(rounds, reps int, seed int64) record {
+	const nJobs, k = 192, 8
+	base := [3]float64{48, 48, 48}
+	rec := record{Family: "cluster-cap", Clients: nJobs, K: k, DirtyFrac: 1, Rounds: rounds, ObjAgree: true}
+	bestWarm, bestCold := int64(math.MaxInt64), int64(math.MaxInt64)
+
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(seed + 11))
+		jobs := cluster.GenerateJobs(nJobs, seed+2, 0.2)
+		c := cluster.NewCluster(base[0], base[1], base[2])
+		warm, err := online.NewClusterEngine(c, online.MinMakespan, online.Options{K: k}, lp.Options{})
+		die(err)
+		cold, err := online.NewClusterEngine(c, online.MinMakespan, online.Options{K: k, NoWarmStart: true}, lp.Options{})
+		die(err)
+		for _, j := range jobs {
+			warm.Upsert(j)
+			cold.Upsert(j)
+		}
+		die(warm.Solve())
+		cold.MarkAllDirty()
+		die(cold.Solve())
+		warm0, cold0 := warm.Stats(), cold.Stats()
+
+		var warmNs, coldNs int64
+		for round := 0; round < rounds; round++ {
+			next := cluster.NewCluster(
+				base[0]*(0.8+0.4*rng.Float64()),
+				base[1]*(0.8+0.4*rng.Float64()),
+				base[2]*(0.8+0.4*rng.Float64()))
+
+			start := time.Now()
+			warm.SetCluster(next)
+			die(warm.Solve())
+			warmNs += time.Since(start).Nanoseconds()
+
+			start = time.Now()
+			cold.SetCluster(next)
+			cold.MarkAllDirty()
+			die(cold.Solve())
+			coldNs += time.Since(start).Nanoseconds()
+
+			if d := math.Abs(warm.Objective() - cold.Objective()); d > rec.MaxObjDelta {
+				rec.MaxObjDelta = d
+			}
+		}
+		if warmNs < bestWarm {
+			bestWarm = warmNs
+			bookWarm(&rec, delta(warm.Stats(), warm0), rounds)
+		}
+		if coldNs < bestCold {
+			bestCold = coldNs
+			bookCold(&rec, delta(cold.Stats(), cold0), rounds)
 		}
 	}
 	rec.WarmNsPerRnd = bestWarm / int64(rounds)
@@ -204,6 +322,7 @@ func benchLB(dirtyFrac float64, rounds, reps int, seed int64) record {
 		_, err = cold.Step(inst)
 		die(err)
 		inst.Placement = a.Placed
+		warm0, cold0 := warm.Stats(), cold.Stats()
 
 		var warmNs, coldNs int64
 		for round := 0; round < rounds; round++ {
@@ -230,13 +349,11 @@ func benchLB(dirtyFrac float64, rounds, reps int, seed int64) record {
 		}
 		if warmNs < bestWarm {
 			bestWarm = warmNs
-			s := warm.Stats()
-			rec.WarmSubSolves = s.SubSolves
-			rec.WarmHits = s.WarmHits
+			bookWarm(&rec, delta(warm.Stats(), warm0), rounds)
 		}
 		if coldNs < bestCold {
 			bestCold = coldNs
-			rec.ColdSubSolves = cold.Stats().SubSolves
+			bookCold(&rec, delta(cold.Stats(), cold0), rounds)
 		}
 	}
 	rec.WarmNsPerRnd = bestWarm / int64(rounds)

@@ -1,8 +1,9 @@
 // Command popserver is a long-running allocation daemon on top of the
 // online incremental engine (internal/online): clients submit and remove
 // jobs over HTTP, mutations are batched per scheduling round, and each
-// round re-solves only the dirtied POP sub-problems, warm-started from
-// their previous simplex bases.
+// round re-solves only the dirtied POP sub-problems from their live LP
+// models — capacity changes ride the dual simplex, data changes the primal
+// warm path.
 //
 // Endpoints:
 //
@@ -16,19 +17,26 @@
 //
 // Usage:
 //
-//	popserver [-addr :8080] [-gpus 32,32,32] [-k 8] [-round 2s] [-policy maxmin]
+//	popserver [-addr :8080] [-gpus 32,32,32] [-k 8] [-round 2s] [-policy maxmin] [-rebalance]
 //
 // With -round 0 no ticker runs and rounds happen only via POST /v1/tick.
+//
+// On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
+// handlers and the round in progress, and exits cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pop/internal/cluster"
@@ -37,12 +45,13 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		gpus     = flag.String("gpus", "32,32,32", "comma-separated GPU counts for K80,P100,V100")
-		k        = flag.Int("k", 8, "number of POP sub-problems")
-		round    = flag.Duration("round", 2*time.Second, "scheduling round length (0 = manual ticks only)")
-		policyFl = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan")
-		parallel = flag.Bool("parallel", true, "solve dirty sub-problems concurrently")
+		addr      = flag.String("addr", ":8080", "listen address")
+		gpus      = flag.String("gpus", "32,32,32", "comma-separated GPU counts for K80,P100,V100")
+		k         = flag.Int("k", 8, "number of POP sub-problems")
+		round     = flag.Duration("round", 2*time.Second, "scheduling round length (0 = manual ticks only)")
+		policyFl  = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan")
+		parallel  = flag.Bool("parallel", true, "solve dirty sub-problems concurrently")
+		rebalance = flag.Bool("rebalance", false, "move ≤1 job per round toward the least-loaded sub-problem")
 	)
 	flag.Parse()
 
@@ -62,27 +71,80 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := newServer(c, policy, online.Options{K: *k, Parallel: *parallel})
+	srv, err := newServer(c, policy, online.Options{K: *k, Parallel: *parallel, Rebalance: *rebalance})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "popserver:", err)
 		os.Exit(2)
 	}
 
-	if *round > 0 {
-		go func() {
-			tick := time.NewTicker(*round)
-			defer tick.Stop()
-			for range tick.C {
-				if _, err := srv.tick(); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "popserver:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("popserver: %s policy, %d sub-problems, cluster %v×%v, round %v, listening on %s",
+		policy, *k, c.TypeNames, c.NumGPUs, *round, ln.Addr())
+	if err := run(ctx, ln, srv, *round); err != nil {
+		log.Fatal("popserver: ", err)
+	}
+	log.Print("popserver: drained and stopped")
+}
+
+// run serves HTTP on ln until ctx is cancelled, then shuts down gracefully:
+// the listener closes, in-flight handlers get shutdownGrace to finish, the
+// round ticker stops, and the round in progress (if any) is drained before
+// run returns. With round > 0 a ticker drives scheduling rounds; otherwise
+// rounds happen only via POST /v1/tick.
+func run(ctx context.Context, ln net.Listener, s *server, round time.Duration) error {
+	const shutdownGrace = 10 * time.Second
+
+	hs := &http.Server{Handler: s.handler()}
+	tickerDone := make(chan struct{})
+	tickerCtx, stopTicker := context.WithCancel(ctx)
+	defer stopTicker()
+	go func() {
+		defer close(tickerDone)
+		if round <= 0 {
+			return
+		}
+		tick := time.NewTicker(round)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tickerCtx.Done():
+				return
+			case <-tick.C:
+				if _, err := s.tick(); err != nil {
 					log.Printf("popserver: round failed: %v", err)
 				}
 			}
-		}()
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		stopTicker()
+		<-tickerDone
+		return err
+	case <-ctx.Done():
 	}
 
-	log.Printf("popserver: %s policy, %d sub-problems, cluster %v×%v, round %v, listening on %s",
-		policy, *k, c.TypeNames, c.NumGPUs, *round, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := hs.Shutdown(shutdownCtx) // stop accepting; drain in-flight handlers
+	stopTicker()
+	<-tickerDone // the ticker goroutine finishes its round before exiting
+	s.drain()    // and any round still holding the engine completes
+	if serr := <-serveErr; serr != nil && serr != http.ErrServerClosed {
+		return serr
+	}
+	return err
 }
 
 func parseCluster(spec string) (cluster.Cluster, error) {

@@ -162,6 +162,15 @@ func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "pending": n})
 }
 
+// drain blocks until no scheduling round holds the engine — the graceful
+// shutdown barrier: once it returns (with the ticker stopped and the HTTP
+// server shut down), no round is in flight and none can start.
+func (s *server) drain() {
+	s.engMu.Lock()
+	//lint:ignore SA2001 acquiring engMu is the barrier; nothing to do inside
+	s.engMu.Unlock()
+}
+
 // tick applies the batched mutations and re-solves the dirtied
 // sub-problems. It is called by the round ticker (or POST /v1/tick).
 func (s *server) tick() (snapshot, error) {
@@ -256,9 +265,13 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"warm_attempts": st.WarmAttempts,
 			"warm_hits":     st.WarmHits,
 			"iterations":    st.Iterations,
+			"dual_pivots":   st.DualPivots,
+			"build_ms":      float64(st.BuildNs) / 1e6,
+			"solve_ms":      float64(st.SolveNs) / 1e6,
 			"arrivals":      st.Arrivals,
 			"departures":    st.Departures,
 			"updates":       st.Updates,
+			"rebalances":    st.Rebalances,
 		},
 	}
 	s.mu.Unlock()

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"pop/internal/cluster"
 	"pop/internal/online"
@@ -187,5 +190,98 @@ func TestServerAllocationFeasible(t *testing.T) {
 		if math.IsNaN(u) {
 			t.Fatalf("NaN usage on type %d", i)
 		}
+	}
+}
+
+// TestServerGracefulShutdown drives the real run() loop: submit work over
+// the live listener, start rounds ticking, then cancel the context (as
+// SIGINT/SIGTERM would) and require run to drain the in-flight round and
+// return cleanly, leaving the engine in a consistent post-round state.
+func TestServerGracefulShutdown(t *testing.T) {
+	s, err := newServer(cluster.NewCluster(4, 4, 4), online.MaxMinFairness, online.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, ln, s, time.Millisecond) }()
+
+	url := "http://" + ln.Addr().String()
+	for id := 0; id < 8; id++ {
+		do(t, "POST", url+"/v1/jobs", jobSpec{ID: id, Throughput: []float64{1, 2, 3}}, http.StatusAccepted)
+	}
+	// Let the ticker land a round that has absorbed the whole batch;
+	// shutdown drains the round in flight, it does not flush mutations
+	// still queued for the next one.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		done := s.snap.NumJobs == 8
+		s.mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no round absorbed the batch before shutdown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+
+	// The listener is closed: new connections must fail.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+	// And the drained engine state is consistent: the last snapshot holds
+	// every submitted job.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap.NumJobs != 8 {
+		t.Fatalf("final snapshot has %d jobs, want 8", s.snap.NumJobs)
+	}
+	st := s.snap.engStats
+	if st.Rounds < 1 || st.SubSolves < 1 {
+		t.Fatalf("engine never worked: %+v", st)
+	}
+}
+
+// TestServerShutdownWithoutTicker: run with round=0 (manual ticks only)
+// must also exit cleanly on cancellation.
+func TestServerShutdownWithoutTicker(t *testing.T) {
+	s, err := newServer(cluster.NewCluster(2, 2, 2), online.MinMakespan, online.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, ln, s, 0) }()
+	url := "http://" + ln.Addr().String()
+	do(t, "POST", url+"/v1/jobs", jobSpec{ID: 1, Throughput: []float64{1, 1, 1}}, http.StatusAccepted)
+	do(t, "POST", url+"/v1/tick", nil, http.StatusOK)
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return")
 	}
 }

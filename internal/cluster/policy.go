@@ -22,7 +22,7 @@ func MaxMinFairness(jobs []Job, c Cluster, opts lp.Options) (*Allocation, error)
 	r := c.NumTypes()
 	eq := EqualShare(jobs, c)
 
-	p := lp.NewProblem(lp.Maximize)
+	p := lp.NewModel(lp.Maximize)
 	varOf := soloVars(p, len(jobs), r)
 	tv := p.AddVariable(1, math.Inf(-1), lp.Inf, "t")
 
@@ -61,7 +61,7 @@ func MinMakespan(jobs []Job, c Cluster, opts lp.Options) (*Allocation, error) {
 		return emptyAllocation(), nil
 	}
 	r := c.NumTypes()
-	p := lp.NewProblem(lp.Maximize)
+	p := lp.NewModel(lp.Maximize)
 	varOf := soloVars(p, len(jobs), r)
 	tv := p.AddVariable(1, math.Inf(-1), lp.Inf, "theta")
 
@@ -159,7 +159,7 @@ func emptyAllocation() *Allocation {
 	return &Allocation{X: [][]float64{}, EffThr: []float64{}}
 }
 
-func soloVars(p *lp.Problem, n, r int) [][]int {
+func soloVars(p lp.Builder, n, r int) [][]int {
 	varOf := make([][]int, n)
 	for j := 0; j < n; j++ {
 		varOf[j] = make([]int, r)
@@ -170,7 +170,7 @@ func soloVars(p *lp.Problem, n, r int) [][]int {
 	return varOf
 }
 
-func addSoloCaps(p *lp.Problem, jobs []Job, c Cluster, varOf [][]int) {
+func addSoloCaps(p lp.Builder, jobs []Job, c Cluster, varOf [][]int) {
 	r := c.NumTypes()
 	for idx := range jobs {
 		coef := make([]float64, r)

@@ -21,7 +21,7 @@ func SolveLPRounding(inst *Instance, opts lp.Options) (*Assignment, error) {
 	L := inst.AvgLoad()
 	eps := inst.TolFrac * L
 
-	prob := lp.NewProblem(lp.Minimize)
+	prob := lp.NewModel(lp.Minimize)
 	aVar := make([][]int, n)
 	mVar := make([][]int, n)
 	for i := 0; i < n; i++ {

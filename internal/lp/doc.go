@@ -69,6 +69,65 @@
 // online engine (package online) leans on to re-solve drifting sub-problems
 // round after round.
 //
+// # Persistent models: the Model lifecycle
+//
+// Problem is a one-shot builder: construct, standardize, solve, discard.
+// Model is the persistent alternative for the mutate-and-resolve regime the
+// online engines live in. Its lifecycle:
+//
+//  1. Build once, with the same builder API as Problem (NewModel, or
+//     NewModelFromProblem to wrap an existing build; helper code can target
+//     the shared Builder interface).
+//  2. Solve. The standardized equality form is built on first solve and
+//     cached; the optimal basis is stored inside the model.
+//  3. Mutate in place: SetCoeff / SetRHS / SetBounds / SetObjectiveCoeff
+//     patch both the builder state and the cached standardized form
+//     directly (no re-standardize), and all setters no-op on unchanged
+//     values so the delta classification below stays exact. Structural
+//     edits — AddVariable/AddConstraint and the block operations
+//     InsertVariables / RemoveVariables / InsertConstraint /
+//     RemoveConstraints — mark the standardized form for a lazy rebuild and
+//     splice the stored basis statuses in lockstep, so surviving blocks
+//     keep their warm information across membership changes.
+//  4. Re-solve. The model classifies everything that happened since the
+//     last optimal basis and picks the cheapest start that is still sound
+//     (see the dual simplex section); whatever path runs, the outcome
+//     equals a cold solve of a fresh build of the current state — the
+//     mutation-equivalence suite (model_test.go) holds mutate==rebuild to
+//     1e-6 over randomized delta chains.
+//
+// A Model is not safe for concurrent use. Options.Scale solves a clone of
+// the cached form (scaling rescales the matrix in place), trading the
+// incremental-build saving for conditioning on that solve.
+//
+// # Dual simplex
+//
+// Perturbing only b, l, or u leaves reduced costs untouched, so the
+// previous optimal basis stays dual feasible while its basic values drift
+// out of bounds. The dual simplex phase (dual.go) exploits this: it
+// repeatedly drives the most bound-violating basic variable out of the
+// basis onto its violated bound, entering the nonbasic column whose
+// reduced-cost ratio keeps every column dual feasible — typically settling
+// a load or capacity shift in a handful of pivots where the primal warm
+// path would run its bound-shifting repair phase and the cold path a full
+// phase 1.
+//
+// Entry conditions (all must hold, else the solve falls back to the primal
+// warm path and then cold, so outcomes never change):
+//
+//   - Options.Dual is set alongside Options.WarmBasis. Model.Solve sets it
+//     automatically when the deltas since the stored basis are rhs/bound
+//     only; callers using Problem directly can set it by hand.
+//   - The snapshot fits exactly: the model's shape, exactly m basic
+//     columns (a count-repaired or block-spliced basis goes primal).
+//   - The implied basis matrix factorizes, and the installed statuses
+//     price dual feasible against the current objective.
+//
+// A dual phase that hits the iteration limit, numerical trouble, or an
+// apparent infeasibility (which a stale start cannot be trusted to prove)
+// likewise resets and falls back. Solution.DualPivots reports the pivots
+// the dual phase took.
+//
 // The solver reports primal values, row duals, reduced costs, and a status
 // (Optimal, Infeasible, Unbounded, IterLimit, Numerical). It is deterministic:
 // the same model always takes the same pivot sequence.

@@ -1,0 +1,239 @@
+package lp
+
+import "math"
+
+// This file implements the dual simplex phase used to re-solve
+// rhs/bound-only perturbations of an already-solved model. The previous
+// optimal basis stays dual feasible under such deltas (reduced costs do not
+// depend on b, l, or u), so instead of repairing primal feasibility with the
+// bound-shifting phase 1 the solver can run dual pivots: repeatedly choose a
+// basic variable that violates one of its bounds, drive it out of the basis
+// onto that bound, and bring in the nonbasic column whose reduced-cost ratio
+// keeps every other column dual feasible. Each pivot removes one
+// infeasibility, so load-change deltas typically settle in a handful of
+// pivots where a primal warm repair would grind through a composite
+// phase 1.
+//
+// Entry is gated by initWarmDual, which rejects (returning the caller to
+// the primal warm path) any start that is not an exact-shape, factorizable,
+// dual-feasible snapshot. dualIterate likewise reports anything other than
+// a clean primally-feasible finish as a failure — including apparent
+// infeasibility, which a stale start cannot be trusted to prove — and the
+// caller falls back, so the dual phase changes solve speed, never solve
+// outcomes.
+
+// initWarmDual attempts to install basis snapshot b as a dual simplex
+// starting point. Unlike the primal warm path it demands an exact fit: the
+// snapshot must have the model's shape, exactly m basic columns, a
+// factorizable basis matrix, and reduced costs that are still dual feasible
+// for the current objective. On success the solver holds phase-2 costs, a
+// factorized basis, and (possibly bound-violating) basic values, ready for
+// dualIterate.
+func (s *simplex) initWarmDual(b *Basis) bool {
+	if b == nil || len(b.VarStatus) != s.std.n || len(b.SlackStatus) != s.std.m {
+		return false
+	}
+	if b.NumBasic() != s.std.m {
+		// A repaired basic count means promoted/demoted columns whose
+		// reduced costs carry no dual-feasibility promise; leave those
+		// snapshots to the primal warm path.
+		return false
+	}
+	if !s.installBasis(b) {
+		return false
+	}
+	s.phase = 2
+	copy(s.cost, s.std.c)
+
+	// Dual feasibility check against the real costs. An optimal snapshot
+	// perturbed only in b/l/u passes exactly; anything else that happens to
+	// pass is equally safe to pivot on.
+	s.btran()
+	tol := 10 * s.opts.TolOpt
+	for j := 0; j < s.ncols; j++ {
+		if s.status[j] == statBasic || s.std.lb[j] == s.std.ub[j] {
+			continue
+		}
+		d := s.reducedCost(j)
+		switch s.status[j] {
+		case statLower:
+			if d < -tol {
+				return false
+			}
+		case statUpper:
+			if d > tol {
+				return false
+			}
+		default: // statFree
+			if math.Abs(d) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dualIterate runs dual simplex pivots until every basic variable is back
+// inside its bounds (Optimal — primal and dual feasible, so the phase-2
+// primal cleanup that follows typically takes zero pivots) or the phase
+// fails. Infeasible here means no entering column could absorb the
+// violation — a certificate the caller re-derives through the primal path
+// rather than trusting a warm start with.
+func (s *simplex) dualIterate() Status {
+	tolP := s.opts.TolPivot
+	tolF := s.opts.TolFeas
+	if s.dualRho == nil {
+		s.dualRho = make([]float64, s.m)
+	}
+	rho := s.dualRho
+
+	for {
+		if s.iters >= s.opts.MaxIters {
+			return IterLimit
+		}
+
+		// Leaving row: the most bound-violating basic variable (Bland mode:
+		// the first, guaranteeing finite termination under degeneracy).
+		r := -1
+		above := false // true when the violation is past the upper bound
+		worst := tolF
+		for i := 0; i < s.m; i++ {
+			j := s.basis[i]
+			if v := s.lbOf(j) - s.x[j]; v > worst {
+				r, above, worst = i, false, v
+				if s.blandMode {
+					break
+				}
+			}
+			if v := s.x[j] - s.ubOf(j); v > worst {
+				r, above, worst = i, true, v
+				if s.blandMode {
+					break
+				}
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+
+		out := s.basis[r]
+		var bound float64
+		vdir := 1.0
+		if above {
+			bound = s.ubOf(out)
+		} else {
+			bound = s.lbOf(out)
+			vdir = -1
+		}
+		delta := s.x[out] - bound // sign matches vdir
+
+		// Duals for the ratio test, and the pivot row ρ = B⁻ᵀe_r.
+		s.btran()
+		s.bas.btranUnit(r, rho)
+
+		// Entering column: among columns whose movement can absorb the
+		// violation, the one with the smallest dual ratio |d_j|/|α_j| keeps
+		// every reduced cost on its feasible side. Ties prefer the larger
+		// pivot magnitude (Bland mode: the smaller index).
+		q := -1
+		var alphaQ, bestRatio float64
+		for j := 0; j < s.ncols; j++ {
+			st := s.status[j]
+			if st == statBasic || s.std.lb[j] == s.std.ub[j] {
+				continue
+			}
+			var alpha float64
+			ind, val := s.std.col(j)
+			for t, i := range ind {
+				alpha += rho[i] * val[t]
+			}
+			abar := alpha * vdir
+			switch st {
+			case statLower:
+				if abar <= tolP {
+					continue
+				}
+			case statUpper:
+				if abar >= -tolP {
+					continue
+				}
+			default: // statFree
+				if abar <= tolP && abar >= -tolP {
+					continue
+				}
+			}
+			ratio := math.Abs(s.reducedCost(j)) / math.Abs(alpha)
+			switch {
+			case q < 0 || ratio < bestRatio-1e-12:
+				q, alphaQ, bestRatio = j, alpha, ratio
+			case ratio <= bestRatio+1e-12:
+				if s.blandMode {
+					if j < q {
+						q, alphaQ = j, alpha
+					}
+				} else if math.Abs(alpha) > math.Abs(alphaQ) {
+					q, alphaQ = j, alpha
+				}
+			}
+		}
+		if q < 0 {
+			// No column can absorb the violation: the primal is infeasible
+			// (dual unbounded) — as far as this start can tell.
+			return Infeasible
+		}
+
+		// Pivot. The ftran'd entering column must agree with the row-wise
+		// pivot element; a mismatch or vanishing pivot means the
+		// factorization has drifted — reinvert once, then give up.
+		s.ftran(q)
+		wr := s.w[r]
+		if math.Abs(wr) <= tolP || wr*alphaQ < 0 {
+			if s.tryRecover() {
+				continue
+			}
+			return Numerical
+		}
+		step := delta / wr
+		for i := 0; i < s.m; i++ {
+			if wi := s.w[i]; wi != 0 {
+				s.x[s.basis[i]] -= wi * step
+			}
+		}
+		s.x[out] = bound
+		if above {
+			s.status[out] = statUpper
+		} else {
+			s.status[out] = statLower
+		}
+		s.x[q] += step
+		s.basis[r] = q
+		s.status[q] = statBasic
+
+		// Dual degeneracy (zero-ratio pivots) is where cycling lives; after
+		// a run of them, switch to Bland-style selection.
+		if bestRatio <= s.opts.TolOpt {
+			s.degenerateRun++
+			if s.degenerateRun > 2*s.m+20 {
+				s.blandMode = true
+			}
+		} else {
+			s.degenerateRun = 0
+			if !s.opts.BlandOnly {
+				s.blandMode = false
+			}
+		}
+
+		if !s.bas.update(r, s.w) {
+			if !s.reinvert() {
+				return Numerical
+			}
+		}
+		s.iters++
+		s.sinceReinvert++
+		if s.sinceReinvert >= s.opts.ReinvertEvery || s.bas.wantRefactor() {
+			if !s.reinvert() {
+				return Numerical
+			}
+		}
+	}
+}

@@ -1,0 +1,523 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Model is a persistent, mutable linear program: build it once with the
+// same builder API as Problem, solve it, then mutate coefficients, bounds,
+// right-hand sides, or whole variable/constraint blocks in place and
+// re-solve the delta. The model maintains its standardized form
+// incrementally (numeric edits patch the sparse matrix directly; structural
+// edits rebuild it lazily at the next solve), keeps the last optimal basis,
+// and classifies the deltas applied since that basis was taken:
+//
+//   - rhs/bound-only deltas re-solve with the dual simplex from the stale
+//     basis (Options.Dual) — the basis is still dual feasible, so a few
+//     dual pivots replace both the build and the primal repair;
+//   - coefficient/objective deltas re-solve through the primal warm path;
+//   - structural deltas (blocks added or removed) splice the stale basis
+//     statuses in lockstep, so survivors keep their warm information and
+//     the solver's shape-repair settles the rest.
+//
+// Every re-solve path falls back (primal warm, then cold) inside the
+// solver, so mutate-then-resolve always returns the same status and
+// objective as building the current state from scratch and solving cold —
+// only faster. A Model is not safe for concurrent use; clone the underlying
+// problem (CopyProblem) to fan out.
+type Model struct {
+	p        *Problem
+	std      *standardized
+	stdDirty bool // std no longer matches p structurally; rebuild at solve
+
+	basis *Basis // last optimal basis, spliced across structural edits
+	// Delta classes applied since basis was taken. rhs/bound edits need no
+	// flag: the dual path is eligible whenever neither of these is set.
+	sinceCoeff  bool // A or c values changed
+	sinceStruct bool // variables or constraints added/removed
+
+	// SetCoeffs scratch, reused across calls (a Model is single-threaded).
+	scWant  map[int]float64
+	scFirst map[int]int
+	scCur   map[int]float64
+}
+
+// NewModel returns an empty mutable model with the given objective
+// direction. The builder API (AddVariable, AddConstraint, ...) matches
+// Problem's, so construction code ports by swapping NewProblem for
+// NewModel.
+func NewModel(objective Objective) *Model {
+	return &Model{p: NewProblem(objective)}
+}
+
+// NewModelFromProblem wraps a deep copy of an existing Problem as a mutable
+// model; the original is not retained and stays independently usable.
+func NewModelFromProblem(p *Problem) *Model {
+	return &Model{p: p.Clone()}
+}
+
+// CopyProblem returns a deep copy of the model's current builder state as a
+// plain Problem — the "fresh build" twin the mutation-equivalence tests
+// solve cold to cross-check mutate-then-resolve.
+func (m *Model) CopyProblem() *Problem { return m.p.Clone() }
+
+// NumVariables reports the number of variables currently in the model.
+func (m *Model) NumVariables() int { return m.p.NumVariables() }
+
+// NumConstraints reports the number of constraints currently in the model.
+func (m *Model) NumConstraints() int { return m.p.NumConstraints() }
+
+// NumNonzeros reports the number of stored constraint coefficients.
+func (m *Model) NumNonzeros() int { return m.p.NumNonzeros() }
+
+// ObjectiveSense returns the optimization direction chosen at construction.
+func (m *Model) ObjectiveSense() Objective { return m.p.ObjectiveSense() }
+
+// Bounds returns the current bounds of variable v.
+func (m *Model) Bounds(v int) (lb, ub float64) { return m.p.Bounds(v) }
+
+// RHS returns the current right-hand side of constraint `row`.
+func (m *Model) RHS(row int) float64 { return m.p.rows[row].rhs }
+
+// Value evaluates the objective at x in the model's own orientation.
+func (m *Model) Value(x []float64) float64 { return m.p.Value(x) }
+
+// CheckFeasible verifies that x satisfies all bounds and constraints
+// within tol.
+func (m *Model) CheckFeasible(x []float64, tol float64) error { return m.p.CheckFeasible(x, tol) }
+
+// HasBasis reports whether the model holds a basis from a previous optimal
+// solve to warm-start the next one.
+func (m *Model) HasBasis() bool { return m.basis != nil }
+
+// ForgetBasis discards the stored basis, forcing the next solve to start
+// cold. Benchmark baselines and churn-heavy callers (where a stale basis
+// loses to a fresh phase 1) use this; it never changes solve outcomes.
+func (m *Model) ForgetBasis() { m.basis = nil }
+
+// AddVariable appends a variable with objective coefficient c and bounds
+// [lb, ub], returning its index.
+func (m *Model) AddVariable(c, lb, ub float64, name string) int {
+	v := m.p.AddVariable(c, lb, ub, name)
+	m.structEdit()
+	if m.basis != nil {
+		m.basis.VarStatus = append(m.basis.VarStatus, BasisLower)
+	}
+	return v
+}
+
+// AddVariables appends n identical variables and returns the index of the
+// first.
+func (m *Model) AddVariables(n int, c, lb, ub float64) int {
+	first := m.p.NumVariables()
+	for i := 0; i < n; i++ {
+		m.AddVariable(c, lb, ub, "")
+	}
+	return first
+}
+
+// AddConstraint appends the constraint Σ val[t]·x[idx[t]] sense rhs and
+// returns its row index.
+func (m *Model) AddConstraint(idx []int, val []float64, sense Sense, rhs float64, name string) int {
+	r := m.p.AddConstraint(idx, val, sense, rhs, name)
+	m.structEdit()
+	if m.basis != nil {
+		m.basis.SlackStatus = append(m.basis.SlackStatus, BasisBasic)
+	}
+	return r
+}
+
+// InsertVariables inserts n identical variables at index `at`, shifting
+// every variable previously at index ≥ at (and all constraint references to
+// it) up by n. The stored basis keeps the survivors' statuses; the new
+// variables enter nonbasic. It returns `at`.
+func (m *Model) InsertVariables(at, n int, c, lb, ub float64) int {
+	nv := m.p.NumVariables()
+	if at < 0 || at > nv {
+		panic(fmt.Sprintf("lp: InsertVariables at %d outside [0, %d]", at, nv))
+	}
+	if lb > ub {
+		panic(fmt.Sprintf("lp: InsertVariables: lb %g > ub %g", lb, ub))
+	}
+	if math.IsNaN(c) || math.IsNaN(lb) || math.IsNaN(ub) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("lp: InsertVariables: invalid data c=%g lb=%g ub=%g", c, lb, ub))
+	}
+	if n <= 0 {
+		return at
+	}
+	if at == nv {
+		return m.AddVariables(n, c, lb, ub)
+	}
+	p := m.p
+	p.obj = slices.Insert(p.obj, at, slices.Repeat([]float64{c}, n)...)
+	p.lb = slices.Insert(p.lb, at, slices.Repeat([]float64{lb}, n)...)
+	p.ub = slices.Insert(p.ub, at, slices.Repeat([]float64{ub}, n)...)
+	p.varNames = slices.Insert(p.varNames, at, make([]string, n)...)
+	for i := range p.rows {
+		r := &p.rows[i]
+		for t, v := range r.idx {
+			if v >= at {
+				r.idx[t] = v + n
+			}
+		}
+	}
+	m.structEdit()
+	if m.basis != nil {
+		m.basis.VarStatus = slices.Insert(m.basis.VarStatus, at,
+			slices.Repeat([]BasisStatus{BasisLower}, n)...)
+	}
+	return at
+}
+
+// RemoveVariables deletes variables [at, at+n), dropping their coefficients
+// from every constraint and shifting higher indices down by n. The stored
+// basis drops the removed statuses in lockstep.
+func (m *Model) RemoveVariables(at, n int) {
+	nv := m.p.NumVariables()
+	if at < 0 || n < 0 || at+n > nv {
+		panic(fmt.Sprintf("lp: RemoveVariables [%d, %d) outside [0, %d)", at, at+n, nv))
+	}
+	if n == 0 {
+		return
+	}
+	p := m.p
+	p.obj = slices.Delete(p.obj, at, at+n)
+	p.lb = slices.Delete(p.lb, at, at+n)
+	p.ub = slices.Delete(p.ub, at, at+n)
+	p.varNames = slices.Delete(p.varNames, at, at+n)
+	for i := range p.rows {
+		r := &p.rows[i]
+		keep := 0
+		for t, v := range r.idx {
+			switch {
+			case v >= at+n:
+				r.idx[keep], r.val[keep] = v-n, r.val[t]
+				keep++
+			case v < at:
+				r.idx[keep], r.val[keep] = v, r.val[t]
+				keep++
+			default:
+				p.nnz--
+			}
+		}
+		r.idx = r.idx[:keep]
+		r.val = r.val[:keep]
+	}
+	m.structEdit()
+	if m.basis != nil {
+		m.basis.VarStatus = slices.Delete(m.basis.VarStatus, at, at+n)
+	}
+}
+
+// InsertConstraint inserts a constraint at row position `at`, shifting
+// later rows down. The new row's slack enters the stored basis as basic —
+// the natural status for a fresh row; the solver's shape repair absorbs any
+// resulting surplus.
+func (m *Model) InsertConstraint(at int, idx []int, val []float64, sense Sense, rhs float64, name string) int {
+	nr := m.p.NumConstraints()
+	if at < 0 || at > nr {
+		panic(fmt.Sprintf("lp: InsertConstraint at %d outside [0, %d]", at, nr))
+	}
+	// Validate and copy through the append path, then rotate into place.
+	m.p.AddConstraint(idx, val, sense, rhs, name)
+	p := m.p
+	r := p.rows[nr]
+	copy(p.rows[at+1:], p.rows[at:nr])
+	p.rows[at] = r
+	rn := p.rowNames[nr]
+	copy(p.rowNames[at+1:], p.rowNames[at:nr])
+	p.rowNames[at] = rn
+	m.structEdit()
+	if m.basis != nil {
+		m.basis.SlackStatus = slices.Insert(m.basis.SlackStatus, at, BasisBasic)
+	}
+	return at
+}
+
+// RemoveConstraints deletes constraint rows [at, at+n); the stored basis
+// drops their slack statuses in lockstep.
+func (m *Model) RemoveConstraints(at, n int) {
+	nr := m.p.NumConstraints()
+	if at < 0 || n < 0 || at+n > nr {
+		panic(fmt.Sprintf("lp: RemoveConstraints [%d, %d) outside [0, %d)", at, at+n, nr))
+	}
+	if n == 0 {
+		return
+	}
+	p := m.p
+	for i := at; i < at+n; i++ {
+		p.nnz -= len(p.rows[i].idx)
+	}
+	p.rows = append(p.rows[:at], p.rows[at+n:]...)
+	p.rowNames = append(p.rowNames[:at], p.rowNames[at+n:]...)
+	m.structEdit()
+	if m.basis != nil {
+		m.basis.SlackStatus = slices.Delete(m.basis.SlackStatus, at, at+n)
+	}
+}
+
+// SetObjectiveCoeff overwrites the objective coefficient of variable v.
+// A no-op when the value is unchanged.
+func (m *Model) SetObjectiveCoeff(v int, c float64) {
+	if m.p.obj[v] == c {
+		return
+	}
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("lp: variable %d: non-finite objective coefficient %g", v, c))
+	}
+	m.p.obj[v] = c
+	if m.freshStd() {
+		m.std.c[v] = m.std.objSign * c
+	}
+	m.sinceCoeff = true
+}
+
+// SetBounds overwrites the bounds of variable v. A no-op when unchanged.
+func (m *Model) SetBounds(v int, lb, ub float64) {
+	if m.p.lb[v] == lb && m.p.ub[v] == ub {
+		return
+	}
+	m.p.SetBounds(v, lb, ub)
+	if m.freshStd() {
+		m.std.lb[v] = lb
+		m.std.ub[v] = ub
+	}
+}
+
+// SetRHS overwrites the right-hand side of constraint `row`. A no-op when
+// unchanged.
+func (m *Model) SetRHS(row int, rhs float64) {
+	if m.p.rows[row].rhs == rhs {
+		return
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		panic(fmt.Sprintf("lp: row %d: non-finite rhs %g", row, rhs))
+	}
+	m.p.rows[row].rhs = rhs
+	if m.freshStd() {
+		m.std.b[row] = rhs
+	}
+}
+
+// SetCoeff overwrites the coefficient of variable v in constraint `row`
+// (the merged total, if the row was built with duplicate indices). Setting
+// a coefficient the row does not yet store is a structural fill-in: the
+// standardized form is rebuilt at the next solve, but the basis — whose
+// shape is unchanged — still warm-starts it. A no-op when unchanged.
+func (m *Model) SetCoeff(row, v int, coef float64) {
+	if math.IsNaN(coef) || math.IsInf(coef, 0) {
+		panic(fmt.Sprintf("lp: row %d: non-finite coefficient %g for variable %d", row, coef, v))
+	}
+	if v < 0 || v >= m.p.NumVariables() {
+		panic(fmt.Sprintf("lp: row %d references unknown variable %d", row, v))
+	}
+	r := &m.p.rows[row]
+	first, cur := -1, 0.0
+	for t, id := range r.idx {
+		if id == v {
+			if first < 0 {
+				first = t
+			}
+			cur += r.val[t]
+		}
+	}
+	if first < 0 {
+		if coef == 0 {
+			return
+		}
+		r.idx = append(r.idx, v)
+		r.val = append(r.val, coef)
+		m.p.nnz++
+		m.stdDirty = true
+		m.sinceCoeff = true
+		return
+	}
+	if cur == coef {
+		return
+	}
+	r.val[first] = coef
+	for t := first + 1; t < len(r.idx); t++ {
+		if r.idx[t] == v {
+			r.val[t] = 0
+		}
+	}
+	if m.freshStd() {
+		m.std.setEntry(row, v, coef)
+	}
+	m.sinceCoeff = true
+}
+
+// SetCoeffs overwrites the coefficients of several variables in constraint
+// `row` in one pass over the row — semantically identical to calling
+// SetCoeff once per (idx[t], val[t]) pair, but O(row length + len(idx))
+// instead of a full row scan per entry, which keeps the engines' refresh of
+// shared rows (one entry per client) linear in the client count. Duplicate
+// indices in idx: the last pair wins.
+func (m *Model) SetCoeffs(row int, idx []int, val []float64) {
+	if len(idx) != len(val) {
+		panic(fmt.Sprintf("lp: SetCoeffs row %d: len(idx)=%d len(val)=%d", row, len(idx), len(val)))
+	}
+	// Small updates: the per-entry row scans beat the map machinery's
+	// constant; the one-pass path below is for rows wide enough that
+	// quadratic scanning would bite.
+	if len(idx) <= 32 {
+		for t, v := range idx {
+			m.SetCoeff(row, v, val[t])
+		}
+		return
+	}
+	nv := m.p.NumVariables()
+	if m.scWant == nil {
+		m.scWant = make(map[int]float64, len(idx))
+		m.scFirst = make(map[int]int, len(idx))
+		m.scCur = make(map[int]float64, len(idx))
+	}
+	want, first, cur := m.scWant, m.scFirst, m.scCur
+	clear(want)
+	clear(first)
+	clear(cur)
+	for t, v := range idx {
+		if v < 0 || v >= nv {
+			panic(fmt.Sprintf("lp: row %d references unknown variable %d", row, v))
+		}
+		if math.IsNaN(val[t]) || math.IsInf(val[t], 0) {
+			panic(fmt.Sprintf("lp: row %d: non-finite coefficient %g for variable %d", row, val[t], v))
+		}
+		want[v] = val[t]
+	}
+	r := &m.p.rows[row]
+	// Pass 1: merged current value and first position of every targeted
+	// variable present in the row.
+	for t, id := range r.idx {
+		if _, ok := want[id]; !ok {
+			continue
+		}
+		if _, ok := first[id]; !ok {
+			first[id] = t
+		}
+		cur[id] += r.val[t]
+	}
+	// Pass 2: apply changes — first occurrence carries the value, duplicate
+	// occurrences are zeroed, absent nonzeros append as fill-ins.
+	fresh := m.freshStd()
+	changed := false
+	for t, id := range r.idx {
+		ft, ok := first[id]
+		if !ok || cur[id] == want[id] {
+			continue
+		}
+		if t == ft {
+			r.val[t] = want[id]
+		} else if r.val[t] != 0 {
+			r.val[t] = 0
+		}
+	}
+	for id, w := range want {
+		if _, ok := first[id]; ok {
+			if cur[id] != w {
+				changed = true
+				if fresh {
+					m.std.setEntry(row, id, w)
+				}
+			}
+			continue
+		}
+		if w == 0 {
+			continue
+		}
+		r.idx = append(r.idx, id)
+		r.val = append(r.val, w)
+		m.p.nnz++
+		m.stdDirty = true
+		changed = true
+	}
+	if changed {
+		m.sinceCoeff = true
+	}
+}
+
+// structEdit books a structural change: the standardized form must be
+// rebuilt and the stored basis, though spliced to the new shape, is no
+// longer dual-trustworthy.
+func (m *Model) structEdit() {
+	m.stdDirty = true
+	m.sinceStruct = true
+}
+
+// freshStd reports whether the cached standardized form is live and can be
+// patched in place.
+func (m *Model) freshStd() bool { return m.std != nil && !m.stdDirty }
+
+// setEntry overwrites the merged coefficient of (row, structural column v),
+// which is known to exist. Row indices are ascending within a column, so a
+// binary search lands on it.
+func (s *standardized) setEntry(row, v int, coef float64) {
+	lo, hi := int(s.colPtr[v]), int(s.colPtr[v+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s.rowInd[mid]) < row {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= int(s.colPtr[v+1]) || int(s.rowInd[lo]) != row {
+		// The builder row stores the entry but the CSC predates it — should
+		// be unreachable (fill-ins set stdDirty); rebuild defensively.
+		panic(fmt.Sprintf("lp: standardized form missing entry (%d, %d)", row, v))
+	}
+	s.values[lo] = coef
+}
+
+// Solve optimizes the model with default options.
+func (m *Model) Solve() (*Solution, error) {
+	return m.SolveWithOptions(Options{})
+}
+
+// SolveWithOptions optimizes the model's current state. When the model
+// holds a basis from a previous optimal solve and the caller did not pass
+// an explicit Options.WarmBasis, the solve is warm-started automatically:
+// through the dual simplex when only rhs/bounds changed since that basis
+// was taken, through the primal warm path otherwise. Outcomes are always
+// those of a cold solve of the current state.
+func (m *Model) SolveWithOptions(opts Options) (*Solution, error) {
+	if m.p.NumVariables() == 0 {
+		return nil, fmt.Errorf("lp: model has no variables")
+	}
+	if m.std == nil || m.stdDirty {
+		m.std = m.p.standardize()
+		m.stdDirty = false
+	}
+	if opts.WarmBasis == nil && m.basis != nil {
+		opts.WarmBasis = m.basis
+		opts.Dual = !m.sinceCoeff && !m.sinceStruct
+	}
+	sol := m.run(opts)
+	if sol.Status == Numerical && (opts.Backend.resolve() != Dense || opts.WarmBasis != nil) {
+		opts.Backend = Dense
+		opts.WarmBasis = nil // a bad warm basis must not poison the retry
+		opts.Dual = false
+		sol = m.run(opts)
+	}
+	if sol.Status == Optimal && sol.Basis != nil {
+		m.basis = sol.Basis
+		m.sinceCoeff = false
+		m.sinceStruct = false
+	} else if sol.Status != Optimal {
+		m.basis = nil
+	}
+	return sol, nil
+}
+
+// run executes one simplex attempt over the cached standardized form.
+// Scaling mutates the matrix in place, so that option solves a clone.
+func (m *Model) run(opts Options) *Solution {
+	std := m.std
+	if opts.Scale {
+		std = std.clone()
+	}
+	s := newSimplexStd(std, opts)
+	return s.solve()
+}

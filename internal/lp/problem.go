@@ -75,6 +75,48 @@ func NewProblem(objective Objective) *Problem {
 	return &Problem{objective: objective}
 }
 
+// Builder is the construction surface shared by Problem and Model: helper
+// functions that assemble a formulation can accept a Builder and work
+// unchanged against either the one-shot builder or the persistent mutable
+// model.
+type Builder interface {
+	AddVariable(c, lb, ub float64, name string) int
+	AddVariables(n int, c, lb, ub float64) int
+	AddConstraint(idx []int, val []float64, sense Sense, rhs float64, name string) int
+	SetObjectiveCoeff(v int, c float64)
+	SetBounds(v int, lb, ub float64)
+	NumVariables() int
+	NumConstraints() int
+}
+
+var (
+	_ Builder = (*Problem)(nil)
+	_ Builder = (*Model)(nil)
+)
+
+// Clone returns a deep copy of the builder state.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		objective: p.objective,
+		obj:       append([]float64(nil), p.obj...),
+		lb:        append([]float64(nil), p.lb...),
+		ub:        append([]float64(nil), p.ub...),
+		varNames:  append([]string(nil), p.varNames...),
+		rows:      make([]row, len(p.rows)),
+		rowNames:  append([]string(nil), p.rowNames...),
+		nnz:       p.nnz,
+	}
+	for i, r := range p.rows {
+		q.rows[i] = row{
+			idx:   append([]int(nil), r.idx...),
+			val:   append([]float64(nil), r.val...),
+			sense: r.sense,
+			rhs:   r.rhs,
+		}
+	}
+	return q
+}
+
 // NumVariables reports the number of variables added so far.
 func (p *Problem) NumVariables() int { return len(p.obj) }
 
@@ -256,6 +298,11 @@ type Solution struct {
 	// mismatch, singular, or unrepairably infeasible) and the solver ran a
 	// cold phase 1 instead.
 	WarmStarted bool
+	// DualPivots counts the pivots taken by the dual simplex phase
+	// (Options.Dual); zero when the primal path ran. A successful dual
+	// re-solve typically shows a handful of DualPivots and near-zero
+	// remaining primal Iterations beyond them.
+	DualPivots int
 }
 
 // SolverBackend selects the basis-factorization engine of the simplex.
@@ -360,6 +407,18 @@ type Options struct {
 	// a cold phase 1, so warm starts never change the solve outcome — only
 	// its speed. Works with both backends.
 	WarmBasis *Basis
+	// Dual attempts a dual simplex re-solve from WarmBasis before the
+	// primal warm path: the snapshot's statuses are installed, and if they
+	// are still dual feasible (which an optimal basis remains under
+	// rhs/bound-only perturbations), dual pivots drive the out-of-bounds
+	// basics home in a handful of iterations instead of a primal repair
+	// phase. A start that is dual infeasible, or a dual phase that fails
+	// (iteration limit, numerical trouble, apparent infeasibility), falls
+	// back to the primal warm path and then cold, so enabling Dual never
+	// changes the solve outcome. Ignored without WarmBasis. Model.Solve
+	// sets this automatically when only rhs/bounds changed since the
+	// basis was taken.
+	Dual bool
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -404,6 +463,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	if sol.Status == Numerical && (s.backend != Dense || opts.WarmBasis != nil) {
 		opts.Backend = Dense
 		opts.WarmBasis = nil // a bad warm basis must not poison the retry
+		opts.Dual = false
 		s = newSimplex(p, opts)
 		sol = s.solve()
 	}
@@ -518,4 +578,18 @@ func (p *Problem) standardize() *standardized {
 func (s *standardized) col(j int) ([]int32, []float64) {
 	lo, hi := s.colPtr[j], s.colPtr[j+1]
 	return s.rowInd[lo:hi], s.values[lo:hi]
+}
+
+// clone deep-copies the standardized form. Model solves clone before any
+// option (Scale) that would mutate the shared arrays in place.
+func (s *standardized) clone() *standardized {
+	c := *s
+	c.colPtr = append([]int32(nil), s.colPtr...)
+	c.rowInd = append([]int32(nil), s.rowInd...)
+	c.values = append([]float64(nil), s.values...)
+	c.c = append([]float64(nil), s.c...)
+	c.lb = append([]float64(nil), s.lb...)
+	c.ub = append([]float64(nil), s.ub...)
+	c.b = append([]float64(nil), s.b...)
+	return &c
 }

@@ -53,15 +53,26 @@ type simplex struct {
 	devexRow []float64
 
 	iters          int
+	dualPivots     int
 	sinceReinvert  int
 	degenerateRun  int
 	blandMode      bool
 	numericTrouble bool
 	warmStarted    bool
+
+	// dualRho is the btranUnit scratch of the dual simplex pivot row,
+	// allocated on first use.
+	dualRho []float64
 }
 
 func newSimplex(p *Problem, opts Options) *simplex {
-	std := p.standardize()
+	return newSimplexStd(p.standardize(), opts)
+}
+
+// newSimplexStd builds a solver over an already-standardized model; Model
+// re-solves hand their incrementally-maintained form here, skipping the
+// per-solve standardize pass.
+func newSimplexStd(std *standardized, opts Options) *simplex {
 	s := &simplex{
 		std:   std,
 		m:     std.m,
@@ -98,14 +109,29 @@ func (s *simplex) solve() *Solution {
 	if s.m == 0 {
 		return s.solveUnconstrained()
 	}
-	if s.opts.WarmBasis != nil {
+	if s.opts.WarmBasis != nil && s.opts.Dual {
+		if s.initWarmDual(s.opts.WarmBasis) {
+			if st := s.dualIterate(); st == Optimal {
+				s.warmStarted = true
+				s.dualPivots = s.iters
+			} else {
+				// Any dual failure — apparent infeasibility included, since
+				// the stale start makes it untrustworthy — falls back to the
+				// primal warm path below with a clean slate, so Dual never
+				// changes the solve outcome.
+				s.resetStart()
+			}
+		} else {
+			s.resetStart()
+		}
+	}
+	if !s.warmStarted && s.opts.WarmBasis != nil {
 		s.warmStarted = s.initWarm(s.opts.WarmBasis)
 		if !s.warmStarted {
 			// The cold fallback must behave exactly as if no warm basis had
 			// been supplied: give it back the full iteration budget and a
 			// clean trouble flag.
-			s.iters = 0
-			s.numericTrouble = false
+			s.resetStart()
 		}
 	}
 	if !s.warmStarted {
@@ -140,6 +166,19 @@ func (s *simplex) solve() *Solution {
 		return s.failure(st)
 	}
 	return s.extract()
+}
+
+// resetStart returns the solver to a pristine pre-start state after a
+// rejected or failed warm/dual start, so the next start strategy behaves
+// exactly as if it had been the first: full iteration budget, clean
+// numerical-trouble flag, no dual pivots booked.
+func (s *simplex) resetStart() {
+	s.iters = 0
+	s.dualPivots = 0
+	s.numericTrouble = false
+	s.warmStarted = false
+	s.degenerateRun = 0
+	s.blandMode = s.opts.BlandOnly
 }
 
 // solveUnconstrained handles models with no constraints: each variable moves
@@ -672,6 +711,7 @@ func (s *simplex) extract() *Solution {
 		Dual:        make([]float64, s.m),
 		ReducedCost: make([]float64, n),
 		Iterations:  s.iters,
+		DualPivots:  s.dualPivots,
 		Basis:       s.snapshotBasis(),
 		WarmStarted: s.warmStarted,
 	}
@@ -708,7 +748,7 @@ func (s *simplex) extract() *Solution {
 
 func (s *simplex) failure(st Status) *Solution {
 	n := s.std.n
-	sol := &Solution{Status: st, Iterations: s.iters, X: make([]float64, n), WarmStarted: s.warmStarted}
+	sol := &Solution{Status: st, Iterations: s.iters, DualPivots: s.dualPivots, X: make([]float64, n), WarmStarted: s.warmStarted}
 	for j := 0; j < n && j < len(s.x); j++ {
 		sol.X[j] = s.x[j]
 	}

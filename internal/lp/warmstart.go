@@ -118,6 +118,22 @@ func sanitizeStatus(lb, ub float64, st BasisStatus) int8 {
 // feasibility. On success the solver state is primal feasible and ready for
 // phase 2.
 func (s *simplex) initWarm(b *Basis) bool {
+	if !s.installBasis(b) {
+		return false
+	}
+	if s.maxBoundViolation() <= 10*s.opts.TolFeas {
+		return true
+	}
+	return s.warmRepair()
+}
+
+// installBasis materializes a basis snapshot into solver state: statuses and
+// nonbasic values from the snapshot (with the basic count repaired if the
+// shape drifted), a fresh factorization, and recomputed basic values. It
+// returns false when the snapshot's dimensions do not match or the implied
+// basis matrix is singular; it does not judge primal or dual feasibility —
+// that is the caller's start-strategy decision.
+func (s *simplex) installBasis(b *Basis) bool {
 	std := s.std
 	m, n := s.m, std.n
 	if b == nil || len(b.VarStatus) != n || len(b.SlackStatus) != m {
@@ -160,12 +176,15 @@ func (s *simplex) initWarm(b *Basis) bool {
 		s.status[s.ncols+i] = statLower
 	}
 
-	// Repair the basic count: a snapshot remapped across a structural change
+	// Repair the basic count: a snapshot spliced across a structural change
 	// (clients arriving or departing) rarely lands on exactly m basics.
-	// Promote nonbasic slacks (in row order) or demote excess basics (high
+	// Promote nonbasic slacks (in reverse row order, so the shared trailing
+	// rows of block-structured models — whose binding status is what a
+	// departed block most plausibly relaxed — absorb the deficit before any
+	// surviving client's rows are disturbed) or demote excess basics (high
 	// columns first) until the count is right; refactor rejects any truly
 	// bad choice below.
-	for i := 0; i < m && nbasic < m; i++ {
+	for i := m - 1; i >= 0 && nbasic < m; i-- {
 		j := n + i
 		if s.status[j] != statBasic {
 			s.status[j] = statBasic
@@ -214,14 +233,7 @@ func (s *simplex) initWarm(b *Basis) bool {
 	}
 	// reinvert factorizes (falling back SparseLU→Dense on numerical trouble)
 	// and recomputes x_B = B⁻¹(b - N x_N); a singular stale basis fails here.
-	if !s.reinvert() {
-		return false
-	}
-
-	if s.maxBoundViolation() <= 10*s.opts.TolFeas {
-		return true
-	}
-	return s.warmRepair()
+	return s.reinvert()
 }
 
 // maxBoundViolation reports the largest bound violation over basic columns

@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"time"
 
 	"pop/internal/cluster"
 	"pop/internal/lp"
@@ -40,10 +41,34 @@ type clusterSubResult struct {
 	objective float64
 }
 
+// clusterSub is one sub-problem's persistent LP state: the live model and
+// the member list (in block order) it currently encodes. Between rounds the
+// model is mutated in place — blocks spliced for arrivals/departures,
+// coefficients and right-hand sides patched for data changes — so a
+// re-solve pays pivots, not construction.
+//
+// Block layout, for n members over r GPU types: variables are r allocation
+// fractions per member (block i at [i·r, (i+1)·r)) then the shared epigraph
+// t at n·r; rows are a time row and an objective row per member (block i at
+// [2i, 2i+2)) then r shared capacity rows at [2n, 2n+r).
+type clusterSub struct {
+	model *lp.Model
+	ids   []int
+	// totalZ and cap fingerprint the equal-share inputs the model's
+	// objective rows were computed against. Under MaxMinFairness a change
+	// in either rotates every member's denominator at once — a global
+	// coefficient refresh that leaves the stale basis worthless, so the
+	// sync drops it (keeping the model) rather than pay a fruitless warm
+	// repair.
+	totalZ float64
+	cap    []float64
+}
+
 // ClusterEngine incrementally maintains a POP allocation for the solo GPU
-// scheduling policies: jobs arrive, depart, and change; the engine
-// re-solves only the dirtied sub-clusters, warm-starting each from its
-// previous basis. Not safe for concurrent use.
+// scheduling policies: jobs arrive, depart, and change; the engine keeps
+// one mutable LP model per sub-cluster, applies deltas in place, and
+// re-solves only the dirtied models — through the dual simplex when only
+// capacities moved, warm-started otherwise. Not safe for concurrent use.
 type ClusterEngine struct {
 	t       *tracker
 	policy  ClusterPolicy
@@ -52,6 +77,7 @@ type ClusterEngine struct {
 	sub     cluster.Cluster // c.Split(K)
 	haveC   bool
 	jobs    map[int]cluster.Job
+	subs    []*clusterSub
 	results []*clusterSubResult
 }
 
@@ -62,22 +88,24 @@ func NewClusterEngine(c cluster.Cluster, policy ClusterPolicy, opts Options, lpO
 	if err != nil {
 		return nil, err
 	}
-	// Max-min-style optima reshuffle when most members' data changes at
-	// once; beyond this churn the stale basis loses to a cold phase 1.
-	t.warmTouchLimit = 0.75
 	e := &ClusterEngine{
 		t:       t,
 		policy:  policy,
 		lpOpts:  lpOpts,
 		jobs:    make(map[int]cluster.Job),
+		subs:    make([]*clusterSub, opts.K),
 		results: make([]*clusterSubResult, opts.K),
+	}
+	for p := range e.subs {
+		e.subs[p] = &clusterSub{}
 	}
 	e.SetCluster(c)
 	return e, nil
 }
 
 // SetCluster installs a new resource pool. A capacity change dirties every
-// sub-problem (each holds 1/k of every GPU type).
+// sub-problem (each holds 1/k of every GPU type); under MinMakespan it is a
+// pure rhs delta, so the re-solves ride the dual simplex.
 func (e *ClusterEngine) SetCluster(c cluster.Cluster) {
 	if e.haveC && clustersEqual(e.c, c) {
 		return
@@ -161,33 +189,28 @@ func (e *ClusterEngine) Cluster() cluster.Cluster { return e.c }
 // Stats returns the engine's work counters.
 func (e *ClusterEngine) Stats() Stats { return e.t.stats }
 
-// clusterLayout is the remap contract of buildClusterLP.
-func (e *ClusterEngine) clusterLayout() BlockLayout {
-	r := e.sub.NumTypes()
-	return BlockLayout{VarsPerClient: r, RowsPerClient: 2, SharedVars: 1, SharedRows: r}
-}
-
-// Solve re-solves every dirty sub-problem, warm-started, leaving clean ones
-// untouched.
+// Solve re-solves every dirty sub-problem from its persistent model,
+// leaving clean ones untouched.
 func (e *ClusterEngine) Solve() error {
-	lay := e.clusterLayout()
-	return e.t.solveDirty(func(p int, ids []int, prevBasis *lp.Basis, prevIDs []int) (subReport, error) {
+	e.t.rebalance()
+	return e.t.solveDirty(func(p int, ids []int) (subReport, error) {
 		if len(ids) == 0 {
 			e.results[p] = &clusterSubResult{index: map[int]int{}}
+			e.subs[p] = &clusterSub{}
 			return subReport{}, nil
 		}
 		members := make([]cluster.Job, len(ids))
 		for i, id := range ids {
 			members[i] = e.jobs[id]
 		}
-		warm := prevBasis
-		if warm != nil && !slices.Equal(prevIDs, ids) {
-			warm = RemapBasis(warm, lay, prevIDs, ids)
-		}
-		opts := e.lpOpts
-		opts.WarmBasis = warm
-		prob := buildClusterLP(e.policy, members, e.sub)
-		sol, err := prob.SolveWithOptions(opts)
+		start := time.Now()
+		m := e.syncModel(p, ids, members)
+		warmAttempted := m.HasBasis()
+		buildNs := time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		sol, err := m.SolveWithOptions(e.lpOpts)
+		solveNs := time.Since(start).Nanoseconds()
 		if err != nil {
 			return subReport{}, err
 		}
@@ -198,7 +221,7 @@ func (e *ClusterEngine) Solve() error {
 		alloc := &cluster.Allocation{
 			X:           make([][]float64, len(ids)),
 			EffThr:      make([]float64, len(ids)),
-			LPVariables: prob.NumVariables(),
+			LPVariables: m.NumVariables(),
 		}
 		index := make(map[int]int, len(ids))
 		for i := range ids {
@@ -213,8 +236,135 @@ func (e *ClusterEngine) Solve() error {
 			alloc:     alloc,
 			objective: sol.Objective,
 		}
-		return subReport{basis: sol.Basis, warmStarted: sol.WarmStarted, iterations: sol.Iterations}, nil
+		return subReport{
+			warmAttempted: warmAttempted,
+			warmStarted:   sol.WarmStarted,
+			iterations:    sol.Iterations,
+			dualPivots:    sol.DualPivots,
+			buildNs:       buildNs,
+			solveNs:       solveNs,
+		}, nil
 	})
+}
+
+// syncModel brings partition p's persistent model in line with the current
+// member list and data, building it fresh only when there is no model yet,
+// warm starts are disabled, or membership churned beyond recognition.
+// Departed members' blocks are spliced out, arrivals' blocks appended, and
+// every data-dependent coefficient and rhs rewritten — the model's setters
+// no-op on unchanged values, so the resulting delta class (and with it the
+// dual-simplex eligibility) stays exact.
+func (e *ClusterEngine) syncModel(p int, ids []int, members []cluster.Job) *lp.Model {
+	cs := e.subs[p]
+	r := e.sub.NumTypes()
+	// Under MaxMinFairness, a shift in the equal-share inputs (total scale
+	// or capacity) rotates every member's denominator at once; the stale
+	// basis carries nothing through that, so it is dropped below — and when
+	// membership also changed, block splicing buys nothing over the cheaper
+	// fresh build.
+	globalRot := e.policy == MaxMinFairness &&
+		(totalScale(members) != cs.totalZ || !slices.Equal(cs.cap, e.sub.NumGPUs))
+	if cs.model == nil || e.t.opts.NoWarmStart || overlap(cs.ids, ids) < 0.5 ||
+		(globalRot && !slices.Equal(cs.ids, ids)) {
+		return e.rebuild(cs, ids, members)
+	}
+	m := cs.model
+	if !syncMemberBlocks(m, &cs.ids, ids, r, 2, func(bi int) { e.appendJobBlock(m, bi) }) {
+		return e.rebuild(cs, ids, members)
+	}
+
+	// Full data refresh against the current members and capacities: each
+	// member's own objective row entry by entry, the shared capacity rows
+	// through the bulk setter (one pass per row, not per member).
+	n := len(ids)
+	tv := n * r
+	eq := cluster.EqualShare(members, e.sub)
+	for i, j := range members {
+		coefs, tc := clusterObjCoefs(e.policy, j, eq[i])
+		row := 2*i + 1
+		for k := 0; k < r; k++ {
+			m.SetCoeff(row, i*r+k, coefs[k])
+		}
+		m.SetCoeff(row, tv, tc)
+	}
+	idxs := make([]int, n)
+	scales := make([]float64, n)
+	for k := 0; k < r; k++ {
+		for i, j := range members {
+			idxs[i] = i*r + k
+			scales[i] = j.Scale
+		}
+		m.SetCoeffs(2*n+k, idxs, scales)
+		m.SetRHS(2*n+k, e.sub.NumGPUs[k])
+	}
+	if globalRot {
+		m.ForgetBasis()
+	}
+	cs.fingerprint(members, e.sub)
+	return m
+}
+
+func (e *ClusterEngine) rebuild(cs *clusterSub, ids []int, members []cluster.Job) *lp.Model {
+	cs.model = buildClusterModel(e.policy, members, e.sub)
+	cs.ids = append([]int(nil), ids...)
+	cs.fingerprint(members, e.sub)
+	return cs.model
+}
+
+func (cs *clusterSub) fingerprint(members []cluster.Job, sub cluster.Cluster) {
+	cs.totalZ = totalScale(members)
+	cs.cap = append(cs.cap[:0], sub.NumGPUs...)
+}
+
+func totalScale(members []cluster.Job) float64 {
+	z := 0.0
+	for _, j := range members {
+		z += j.Scale
+	}
+	return z
+}
+
+// appendJobBlock splices a new member block (r variables, a time row, and a
+// structurally-complete objective row) at block index bi. Coefficient
+// values — including the member's column in the shared capacity rows — are
+// left to the refresh pass, which runs on every sync.
+func (e *ClusterEngine) appendJobBlock(m *lp.Model, bi int) {
+	r := e.sub.NumTypes()
+	at := bi * r
+	m.InsertVariables(at, r, 0, 0, 1)
+	vars := make([]int, r)
+	ones := make([]float64, r)
+	zeros := make([]float64, r+1)
+	for k := 0; k < r; k++ {
+		vars[k] = at + k
+		ones[k] = 1
+	}
+	m.InsertConstraint(2*bi, vars, ones, lp.LE, 1, "time")
+	tv := (bi + 1) * r // t's index after the insertion
+	m.InsertConstraint(2*bi+1, append(append([]int(nil), vars...), tv), zeros, lp.GE, 0, "obj")
+}
+
+// clusterObjCoefs computes a member's objective-row coefficients: its r
+// throughput ratios and the epigraph coefficient. Degenerate jobs (no
+// remaining steps, or zero equal-share throughput) get an all-zero row —
+// the vacuous 0 ≥ 0 that keeps the block layout without constraining t.
+func clusterObjCoefs(policy ClusterPolicy, j cluster.Job, eqShare []float64) ([]float64, float64) {
+	r := len(j.Throughput)
+	var denom float64
+	switch policy {
+	case MinMakespan:
+		denom = j.NumSteps
+	default:
+		denom = j.Weight * cluster.EffectiveThroughput(j, eqShare) * j.Scale
+	}
+	coefs := make([]float64, r)
+	if denom <= 0 {
+		return coefs, 0
+	}
+	for i := 0; i < r; i++ {
+		coefs[i] = j.Throughput[i] / denom
+	}
+	return coefs, -1
 }
 
 // Objective sums the sub-problem objectives — a checksum the equivalence
@@ -289,18 +439,19 @@ func (e *ClusterEngine) Policy() func(jobs []cluster.Job, c cluster.Cluster) (*c
 	}
 }
 
-// buildClusterLP assembles the solo policy epigraph LP in the remap-friendly
-// block layout: per job, r allocation variables then a time row and an
-// objective row; shared epigraph variable t and per-type capacity rows
-// trail. The formulations match cluster.MaxMinFairness / cluster.MinMakespan
-// (modulo row ordering, which changes neither feasible set nor optimum).
-func buildClusterLP(policy ClusterPolicy, members []cluster.Job, sub cluster.Cluster) *lp.Problem {
+// buildClusterModel assembles the solo policy epigraph LP as a mutable
+// model in the block layout documented on clusterSub. Objective rows are
+// always structurally complete (r+1 entries, zeroed when the member is
+// degenerate) so later data refreshes patch values without fill-in. The
+// formulations match cluster.MaxMinFairness / cluster.MinMakespan (modulo
+// row ordering, which changes neither feasible set nor optimum).
+func buildClusterModel(policy ClusterPolicy, members []cluster.Job, sub cluster.Cluster) *lp.Model {
 	r := sub.NumTypes()
-	p := lp.NewProblem(lp.Maximize)
+	m := lp.NewModel(lp.Maximize)
 	for range members {
-		p.AddVariables(r, 0, 0, 1)
+		m.AddVariables(r, 0, 0, 1)
 	}
-	tv := p.AddVariable(1, math.Inf(-1), lp.Inf, "t")
+	tv := m.AddVariable(1, math.Inf(-1), lp.Inf, "t")
 
 	eq := cluster.EqualShare(members, sub)
 	for idx, j := range members {
@@ -310,31 +461,11 @@ func buildClusterLP(policy ClusterPolicy, members []cluster.Job, sub cluster.Clu
 			vars[i] = idx*r + i
 			ones[i] = 1
 		}
-		p.AddConstraint(vars, ones, lp.LE, 1, "time")
+		m.AddConstraint(vars, ones, lp.LE, 1, "time")
 
-		var denom float64
-		switch policy {
-		case MinMakespan:
-			denom = j.NumSteps
-		default:
-			denom = j.Weight * cluster.EffectiveThroughput(j, eq[idx]) * j.Scale
-		}
-		if denom <= 0 {
-			// Degenerate job (no remaining steps, or zero equal-share
-			// throughput): the batch policies skip its row so it cannot
-			// constrain t; emit a vacuous row to keep the block layout.
-			p.AddConstraint(nil, nil, lp.LE, 0, "vacuous")
-			continue
-		}
-		idxs := make([]int, 0, r+1)
-		coefs := make([]float64, 0, r+1)
-		for i := 0; i < r; i++ {
-			idxs = append(idxs, idx*r+i)
-			coefs = append(coefs, j.Throughput[i]/denom)
-		}
-		idxs = append(idxs, tv)
-		coefs = append(coefs, -1)
-		p.AddConstraint(idxs, coefs, lp.GE, 0, "obj")
+		coefs, tc := clusterObjCoefs(policy, j, eq[idx])
+		idxs := append(append([]int(nil), vars...), tv)
+		m.AddConstraint(idxs, append(coefs, tc), lp.GE, 0, "obj")
 	}
 	for i := 0; i < r; i++ {
 		idxs := make([]int, len(members))
@@ -343,7 +474,7 @@ func buildClusterLP(policy ClusterPolicy, members []cluster.Job, sub cluster.Clu
 			idxs[idx] = idx*r + i
 			coefs[idx] = j.Scale
 		}
-		p.AddConstraint(idxs, coefs, lp.LE, sub.NumGPUs[i], "gpus")
+		m.AddConstraint(idxs, coefs, lp.LE, sub.NumGPUs[i], "gpus")
 	}
-	return p
+	return m
 }

@@ -26,27 +26,46 @@
 // trade the paper's load balancer makes (§4.3) when it minimizes shard
 // movement instead of re-placing everything.
 //
-// # Warm-start contract
+// # Persistent models and the re-solve contract
 //
-// Each sub-problem stores the lp.Basis snapshot of its last solve together
-// with the member list it was taken under. On re-solve:
+// Each sub-problem owns a persistent lp.Model: built once, then mutated in
+// place between rounds instead of being rebuilt. The model maintains its
+// standardized form incrementally and keeps the last optimal basis, so a
+// round's deltas arrive at the solver classified:
 //
-//   - unchanged membership: the snapshot is passed directly as
-//     lp.Options.WarmBasis (only coefficients drifted, the shape is
-//     identical);
-//   - changed membership: the snapshot is remapped through the adapter's
-//     BlockLayout — survivors carry their per-client variable and row
-//     statuses over, newcomers enter nonbasic at their lower bounds with
-//     their rows' slacks basic, departed clients' blocks are dropped;
-//   - the lp solver owns correctness: a warm basis that is singular, the
-//     wrong shape, or unrepairably infeasible is discarded in favour of a
-//     cold phase 1 (Solution.WarmStarted reports which path ran), so warm
-//     starts change solve speed, never solve outcomes.
+//   - rhs/bound-only deltas (a capacity change under MinMakespan, a
+//     tolerance change in lb) re-solve with the dual simplex from the
+//     previous basis — a handful of pivots, no rebuild, no phase 1;
+//   - coefficient and objective deltas (load shifts, weight changes,
+//     placement drift) re-solve through the primal warm path;
+//   - membership changes splice whole client blocks out of / into the
+//     model, carrying the surviving blocks' basis statuses along, so the
+//     shape repair settles only the churned remainder;
+//   - when a delta rotates every coefficient at once (cluster max-min's
+//     equal-share denominators under scale or capacity changes), the stale
+//     basis carries nothing: the adapter drops it — and rebuilds outright
+//     if membership also changed, since splicing buys nothing then.
 //
-// Adapters therefore build their LPs in a remap-friendly layout: all
-// per-client variables first (a fixed-size block per client, in member
-// order), shared variables after; per-client rows first (fixed-size blocks,
-// same order), shared rows after.
+// The lp solver owns correctness: every fast path falls back (primal warm,
+// then cold) rather than trust a stale start, so warm and dual starts
+// change solve speed, never solve outcomes (Solution.WarmStarted and
+// Solution.DualPivots report which path ran).
+//
+// Adapters therefore build their LPs in a block layout: all per-client
+// variables first (a fixed-size block per client, in member order), shared
+// variables after; per-client rows first (fixed-size blocks, same order),
+// shared rows after. Engine stats split each round into model
+// build/mutation time and solver time (Stats.BuildNs / Stats.SolveNs) —
+// the mutation path exists to shrink the former.
+//
+// # Drift-bounded rebalancing
+//
+// Options.Rebalance bounds the partition-load drift: each round at most
+// one client moves from the most- to the least-loaded sub-problem, and
+// only when the move strictly narrows their spread, so the spread shrinks
+// monotonically to below the lightest member of the heaviest sub-problem
+// while reassignment stays minimal. Moves are deterministic, so warm and
+// cold engines stay comparable.
 //
 // # Engines
 //

@@ -3,6 +3,7 @@ package online
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"pop/internal/core"
 	"pop/internal/lp"
@@ -14,10 +15,16 @@ type Options struct {
 	K int
 	// Parallel re-solves dirty sub-problems concurrently (the map step).
 	Parallel bool
-	// NoWarmStart disables warm-started re-solves, making every dirty
-	// sub-problem solve cold. Used for the cold baseline in benchmarks and
-	// the equivalence tests; production engines leave it false.
+	// NoWarmStart disables the persistent-model mutation path, making every
+	// dirty sub-problem rebuild its LP from scratch and solve cold. Used for
+	// the cold baseline in benchmarks and the equivalence tests; production
+	// engines leave it false.
 	NoWarmStart bool
+	// Rebalance moves at most one client per round from the most- to the
+	// least-loaded sub-problem when that strictly narrows the load spread,
+	// bounding partition drift under churn while keeping reassignment
+	// minimal. Both moved-between sub-problems re-solve that round.
+	Rebalance bool
 }
 
 func (o Options) validate() error {
@@ -35,69 +42,21 @@ type Stats struct {
 	SubSolves int
 	// SkippedClean counts sub-problems a round left untouched.
 	SkippedClean int
-	// WarmAttempts counts sub-solves handed a warm basis; WarmHits counts
-	// those where the solver accepted it (Solution.WarmStarted).
+	// WarmAttempts counts sub-solves entered with a live basis in the
+	// sub-problem's persistent model; WarmHits counts those where the
+	// solver accepted it (Solution.WarmStarted).
 	WarmAttempts, WarmHits int
-	// Iterations is the total simplex pivots across all sub-solves.
-	Iterations int
-	// Arrivals, Departures, and Updates count the applied deltas.
-	Arrivals, Departures, Updates int
-}
-
-// BlockLayout describes how an adapter assembles its sub-problem LP from
-// uniform per-client blocks plus shared trailing variables and rows. It is
-// the contract that makes basis snapshots remappable across membership
-// changes.
-type BlockLayout struct {
-	VarsPerClient int // leading variables: one block per client, member order
-	RowsPerClient int // leading rows: one block per client, member order
-	SharedVars    int // trailing variables (e.g. an epigraph t)
-	SharedRows    int // trailing rows (e.g. per-resource capacities)
-}
-
-func (l BlockLayout) numVars(clients int) int { return clients*l.VarsPerClient + l.SharedVars }
-func (l BlockLayout) numRows(clients int) int { return clients*l.RowsPerClient + l.SharedRows }
-
-// RemapBasis transfers a basis snapshot taken under member list prev onto
-// member list cur: surviving clients keep their block statuses, newcomers
-// enter nonbasic at their lower bounds with their rows' slacks basic, and
-// departed clients' blocks are dropped. Shared tails carry over unchanged.
-// It returns nil (cold start) when the snapshot does not match the layout.
-// The basic-variable count of the result rarely lands on exactly the row
-// count; lp's warm-start repair settles that.
-func RemapBasis(b *lp.Basis, lay BlockLayout, prev, cur []int) *lp.Basis {
-	if b == nil {
-		return nil
-	}
-	if len(b.VarStatus) != lay.numVars(len(prev)) || len(b.SlackStatus) != lay.numRows(len(prev)) {
-		return nil
-	}
-	at := make(map[int]int, len(prev))
-	for i, id := range prev {
-		at[id] = i
-	}
-	out := &lp.Basis{
-		VarStatus:   make([]lp.BasisStatus, lay.numVars(len(cur))),
-		SlackStatus: make([]lp.BasisStatus, lay.numRows(len(cur))),
-	}
-	for ci, id := range cur {
-		vDst := out.VarStatus[ci*lay.VarsPerClient : (ci+1)*lay.VarsPerClient]
-		rDst := out.SlackStatus[ci*lay.RowsPerClient : (ci+1)*lay.RowsPerClient]
-		if pi, ok := at[id]; ok {
-			copy(vDst, b.VarStatus[pi*lay.VarsPerClient:(pi+1)*lay.VarsPerClient])
-			copy(rDst, b.SlackStatus[pi*lay.RowsPerClient:(pi+1)*lay.RowsPerClient])
-			continue
-		}
-		for v := range vDst {
-			vDst[v] = lp.BasisLower
-		}
-		for r := range rDst {
-			rDst[r] = lp.BasisBasic
-		}
-	}
-	copy(out.VarStatus[len(cur)*lay.VarsPerClient:], b.VarStatus[len(prev)*lay.VarsPerClient:])
-	copy(out.SlackStatus[len(cur)*lay.RowsPerClient:], b.SlackStatus[len(prev)*lay.RowsPerClient:])
-	return out
+	// Iterations is the total simplex pivots across all sub-solves;
+	// DualPivots is the subset taken by the dual simplex phase on
+	// rhs/bound-only deltas.
+	Iterations, DualPivots int
+	// BuildNs is time spent constructing or mutating sub-problem LP models;
+	// SolveNs is time spent inside the LP solver. Their ratio is the
+	// constant-factor story: the mutation path exists to shrink BuildNs.
+	BuildNs, SolveNs int64
+	// Arrivals, Departures, and Updates count the applied deltas;
+	// Rebalances counts clients moved by the drift-bounding rebalancer.
+	Arrivals, Departures, Updates, Rebalances int
 }
 
 // partition is the engine-internal state of one sub-problem.
@@ -105,13 +64,9 @@ type partition struct {
 	ids   []int // members in stable (insertion) order
 	load  float64
 	dirty bool
-	// touched collects the members whose data changed since the last solve;
-	// it decides whether the stale basis still carries information.
+	// touched collects the members whose data changed since the last solve,
+	// deduplicating the Stats.Updates count per round.
 	touched map[int]struct{}
-
-	// basis is the snapshot of the last solve, taken under basisIDs.
-	basis    *lp.Basis
-	basisIDs []int
 }
 
 func (p *partition) markTouched(id int) {
@@ -122,20 +77,15 @@ func (p *partition) markTouched(id int) {
 }
 
 // tracker is the domain-independent heart of an engine: stable partitions,
-// dirty marking, warm-basis bookkeeping, and the dirty-only solve loop.
+// dirty marking, drift-bounded rebalancing, and the dirty-only solve loop.
+// LP state lives with the adapters, which keep one persistent lp.Model per
+// partition and mutate it in place between solves.
 type tracker struct {
 	opts   Options
 	parts  []*partition
 	partOf map[int]int
 	loadOf map[int]float64
 	stats  Stats
-	// warmTouchLimit is the largest fraction of members whose data may have
-	// changed for the stale basis to still be offered as a warm start.
-	// Adapters whose optimal bases survive wholesale coefficient refreshes
-	// (lb: movement costs anchor the assignment) leave it at 1; adapters
-	// whose optima reshuffle under refresh (cluster max-min: the binding
-	// minimum moves) tighten it.
-	warmTouchLimit float64
 }
 
 func newTracker(opts Options) (*tracker, error) {
@@ -143,11 +93,10 @@ func newTracker(opts Options) (*tracker, error) {
 		return nil, err
 	}
 	t := &tracker{
-		opts:           opts,
-		parts:          make([]*partition, opts.K),
-		partOf:         make(map[int]int),
-		loadOf:         make(map[int]float64),
-		warmTouchLimit: 1,
+		opts:   opts,
+		parts:  make([]*partition, opts.K),
+		partOf: make(map[int]int),
+		loadOf: make(map[int]float64),
 	}
 	for p := range t.parts {
 		t.parts[p] = &partition{}
@@ -196,7 +145,7 @@ func (t *tracker) remove(id int) bool {
 	}
 	part.load -= t.loadOf[id]
 	part.dirty = true
-	delete(part.touched, id) // departed blocks drop from the remapped basis
+	delete(part.touched, id) // departed blocks drop from the model
 	delete(t.partOf, id)
 	delete(t.loadOf, id)
 	t.stats.Departures++
@@ -223,18 +172,111 @@ func (t *tracker) markAllDirty() {
 	}
 }
 
+// rebalance moves at most one client from the most-loaded to the
+// least-loaded sub-problem, choosing the member whose move most nearly
+// levels the pair, and only when the move strictly narrows their spread.
+// Repeated rounds therefore shrink the spread monotonically until it is
+// below the lightest member of the heaviest sub-problem — the drift bound
+// under churn. The moved client's old and new sub-problems both go dirty.
+func (t *tracker) rebalance() {
+	if !t.opts.Rebalance || len(t.parts) < 2 {
+		return
+	}
+	hi, lo := 0, 0
+	for p := 1; p < len(t.parts); p++ {
+		if t.parts[p].load > t.parts[hi].load {
+			hi = p
+		}
+		if t.parts[p].load < t.parts[lo].load {
+			lo = p
+		}
+	}
+	diff := t.parts[hi].load - t.parts[lo].load
+	if hi == lo || diff <= 0 {
+		return
+	}
+	best, bestScore := -1, math.Inf(1)
+	for _, id := range t.parts[hi].ids {
+		w := t.loadOf[id]
+		// Any 0 < w < diff strictly improves the pair's spread; prefer the
+		// move that levels it best.
+		if w <= 0 || w >= diff {
+			continue
+		}
+		if score := math.Abs(diff - 2*w); score < bestScore {
+			best, bestScore = id, score
+		}
+	}
+	if best < 0 {
+		return
+	}
+	src, dst := t.parts[hi], t.parts[lo]
+	for i, m := range src.ids {
+		if m == best {
+			src.ids = append(src.ids[:i], src.ids[i+1:]...)
+			break
+		}
+	}
+	dst.ids = append(dst.ids, best)
+	w := t.loadOf[best]
+	src.load -= w
+	dst.load += w
+	t.partOf[best] = lo
+	src.dirty, dst.dirty = true, true
+	t.stats.Rebalances++
+}
+
+// syncMemberBlocks splices a block-structured model's leading member blocks
+// toward the target id list: departed members' blocks (varsPer variables
+// and rowsPer rows each, at block index position) are removed
+// back-to-front, then arrivals are appended through appendBlock, with cur
+// updated in lockstep. It reports false when the surviving order no longer
+// forms a prefix of ids — the tracker's append-only contract was broken
+// and the caller should rebuild fresh.
+func syncMemberBlocks(m *lp.Model, cur *[]int, ids []int, varsPer, rowsPer int, appendBlock func(bi int)) bool {
+	if slices.Equal(*cur, ids) {
+		return true
+	}
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	for bi := len(*cur) - 1; bi >= 0; bi-- {
+		if want[(*cur)[bi]] {
+			continue
+		}
+		m.RemoveConstraints(bi*rowsPer, rowsPer)
+		m.RemoveVariables(bi*varsPer, varsPer)
+		*cur = append((*cur)[:bi], (*cur)[bi+1:]...)
+	}
+	if len(*cur) > len(ids) || !slices.Equal(*cur, ids[:len(*cur)]) {
+		return false
+	}
+	for _, id := range ids[len(*cur):] {
+		appendBlock(len(*cur))
+		*cur = append(*cur, id)
+	}
+	return true
+}
+
 // subReport is what an adapter's per-partition solve returns to the loop.
 type subReport struct {
-	basis       *lp.Basis
-	warmStarted bool
-	iterations  int
+	warmAttempted bool
+	warmStarted   bool
+	iterations    int
+	dualPivots    int
+	buildNs       int64
+	solveNs       int64
 }
 
 // solveDirty runs solve for every dirty partition (concurrently when
-// configured), handing each its previous basis snapshot for warm-starting,
-// and books the results. Clean partitions are skipped entirely — their
-// cached results stand.
-func (t *tracker) solveDirty(solve func(p int, ids []int, prevBasis *lp.Basis, prevIDs []int) (subReport, error)) error {
+// configured) and books the results. Engines that enable rebalancing call
+// tracker.rebalance themselves before this, so partition-local state (like
+// lb's placement anchors) can be refreshed between the move and the solve.
+// Adapters own the keep-or-drop decision for each model's stale basis
+// (e.g. the cluster adapter drops it under equal-share rotations). Clean
+// partitions are skipped entirely — their cached results stand.
+func (t *tracker) solveDirty(solve func(p int, ids []int) (subReport, error)) error {
 	t.stats.Rounds++
 	var dirty []int
 	for p, part := range t.parts {
@@ -247,24 +289,9 @@ func (t *tracker) solveDirty(solve func(p int, ids []int, prevBasis *lp.Basis, p
 		return nil
 	}
 	reports := make([]subReport, len(dirty))
-	warmGiven := make([]bool, len(dirty))
 	err := core.ParallelMap(len(dirty), t.opts.Parallel, func(i int) error {
 		p := dirty[i]
-		part := t.parts[p]
-		var warm *lp.Basis
-		var prevIDs []int
-		// A stale basis only carries information when most members survived
-		// AND (per warmTouchLimit) enough members' data is unchanged; heavy
-		// churn makes a cold phase 1 the better start.
-		unchanged := len(part.ids) == 0 ||
-			float64(len(part.touched)) <= t.warmTouchLimit*float64(len(part.ids))
-		if !t.opts.NoWarmStart && part.basis != nil && unchanged &&
-			overlap(part.basisIDs, part.ids) >= 0.5 {
-			warm = part.basis
-			prevIDs = part.basisIDs
-			warmGiven[i] = true
-		}
-		rep, err := solve(p, part.ids, warm, prevIDs)
+		rep, err := solve(p, t.parts[p].ids)
 		if err != nil {
 			return fmt.Errorf("online: sub-problem %d: %w", p, err)
 		}
@@ -278,16 +305,17 @@ func (t *tracker) solveDirty(solve func(p int, ids []int, prevBasis *lp.Basis, p
 		part := t.parts[p]
 		part.dirty = false
 		part.touched = nil
-		part.basis = reports[i].basis
-		part.basisIDs = append([]int(nil), part.ids...)
 		t.stats.SubSolves++
-		if warmGiven[i] {
+		if reports[i].warmAttempted {
 			t.stats.WarmAttempts++
 			if reports[i].warmStarted {
 				t.stats.WarmHits++
 			}
 		}
 		t.stats.Iterations += reports[i].iterations
+		t.stats.DualPivots += reports[i].dualPivots
+		t.stats.BuildNs += reports[i].buildNs
+		t.stats.SolveNs += reports[i].solveNs
 	}
 	return nil
 }

@@ -215,32 +215,126 @@ func TestStablePartitionInvariants(t *testing.T) {
 	}
 }
 
-func TestRemapBasis(t *testing.T) {
-	lay := BlockLayout{VarsPerClient: 2, RowsPerClient: 1, SharedVars: 1, SharedRows: 2}
-	b := &lp.Basis{
-		// clients 10, 20 then shared var
-		VarStatus:   []lp.BasisStatus{lp.BasisBasic, lp.BasisLower, lp.BasisUpper, lp.BasisBasic, lp.BasisFree},
-		SlackStatus: []lp.BasisStatus{lp.BasisLower, lp.BasisBasic, lp.BasisUpper, lp.BasisBasic},
+// TestRebalanceBoundsLoadDrift: with Rebalance on, at most one client moves
+// per round, the load spread never widens, and under a static population it
+// settles below the lightest member of the heaviest partition — the drift
+// bound.
+func TestRebalanceBoundsLoadDrift(t *testing.T) {
+	tr, err := newTracker(Options{K: 3, Rebalance: true})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// 20 survives (shifted to slot 0), 10 departs, 30 arrives.
-	out := RemapBasis(b, lay, []int{10, 20}, []int{20, 30})
-	wantVars := []lp.BasisStatus{lp.BasisUpper, lp.BasisBasic, lp.BasisLower, lp.BasisLower, lp.BasisFree}
-	wantRows := []lp.BasisStatus{lp.BasisBasic, lp.BasisBasic, lp.BasisUpper, lp.BasisBasic}
-	for i, w := range wantVars {
-		if out.VarStatus[i] != w {
-			t.Fatalf("VarStatus[%d] = %v, want %v (%v)", i, out.VarStatus[i], w, out.VarStatus)
+	rng := rand.New(rand.NewSource(12))
+	noop := func(p int, ids []int) (subReport, error) { return subReport{}, nil }
+
+	// Build a skew: fill all partitions, then drain two of them by
+	// departures so partition loads diverge hard.
+	for id := 0; id < 60; id++ {
+		tr.upsert(id, 0.5+rng.Float64())
+	}
+	for id := 0; id < 60; id++ {
+		if p := tr.partOf[id]; p != 0 && rng.Float64() < 0.8 {
+			tr.remove(id)
 		}
 	}
-	for i, w := range wantRows {
-		if out.SlackStatus[i] != w {
-			t.Fatalf("SlackStatus[%d] = %v, want %v (%v)", i, out.SlackStatus[i], w, out.SlackStatus)
+
+	spread := func() float64 {
+		hi, lo := math.Inf(-1), math.Inf(1)
+		for _, part := range tr.parts {
+			hi = math.Max(hi, part.load)
+			lo = math.Min(lo, part.load)
+		}
+		return hi - lo
+	}
+
+	prev := spread()
+	for round := 0; round < 40; round++ {
+		moved := tr.stats.Rebalances
+		tr.rebalance()
+		if err := tr.solveDirty(noop); err != nil {
+			t.Fatal(err)
+		}
+		if tr.stats.Rebalances-moved > 1 {
+			t.Fatalf("round %d moved %d clients, want ≤ 1", round, tr.stats.Rebalances-moved)
+		}
+		if s := spread(); s > prev+1e-9 {
+			t.Fatalf("round %d widened the spread: %g → %g", round, prev, s)
+		} else {
+			prev = s
 		}
 	}
-	if RemapBasis(nil, lay, nil, nil) != nil {
-		t.Fatal("nil basis should remap to nil")
+	if tr.stats.Rebalances == 0 {
+		t.Fatal("rebalancer never moved a client off the skew")
 	}
-	if RemapBasis(b, lay, []int{10}, []int{10}) != nil {
-		t.Fatal("dimension mismatch should remap to nil")
+	// At the fixpoint the spread is below the lightest member of the
+	// heaviest partition (otherwise that member would still move).
+	hi := 0
+	for p := range tr.parts {
+		if tr.parts[p].load > tr.parts[hi].load {
+			hi = p
+		}
+	}
+	lightest := math.Inf(1)
+	for _, id := range tr.parts[hi].ids {
+		lightest = math.Min(lightest, tr.loadOf[id])
+	}
+	if len(tr.parts[hi].ids) > 0 && prev > lightest+1e-9 {
+		t.Fatalf("spread %g did not settle below the heaviest partition's lightest member %g", prev, lightest)
+	}
+	// Sanity: partition bookkeeping survived the moves.
+	for id, p := range tr.partOf {
+		found := false
+		for _, m := range tr.parts[p].ids {
+			if m == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("client %d claims partition %d but is not a member", id, p)
+		}
+	}
+}
+
+// TestClusterEngineRebalanceMatchesCold: the drift-bounding moves are
+// deterministic, so a warm and a cold engine with Rebalance on take the
+// same partition trajectory and must agree on the POP objective.
+func TestClusterEngineRebalanceMatchesCold(t *testing.T) {
+	c := cluster.NewCluster(12, 12, 12)
+	pool := cluster.GenerateJobs(64, 21, 0.2)
+	rng := rand.New(rand.NewSource(99))
+	warm, err := NewClusterEngine(c, MaxMinFairness, Options{K: 4, Rebalance: true}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewClusterEngine(c, MaxMinFairness, Options{K: 4, Rebalance: true, NoWarmStart: true}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int]cluster.Job{}
+	nextID := 0
+	for b := 0; b < 30; b++ {
+		j := pool[rng.Intn(len(pool))]
+		j.ID = nextID
+		nextID++
+		live[j.ID] = j
+		warm.Upsert(j)
+		cold.Upsert(j)
+	}
+	for round := 0; round < 8; round++ {
+		driveRandomDeltas(rng, []*ClusterEngine{warm, cold}, pool, live, &nextID)
+		if err := warm.Solve(); err != nil {
+			t.Fatalf("round %d warm: %v", round, err)
+		}
+		cold.MarkAllDirty()
+		if err := cold.Solve(); err != nil {
+			t.Fatalf("round %d cold: %v", round, err)
+		}
+		if w, cobj := warm.Objective(), cold.Objective(); !approxEq(w, cobj, 1e-6) {
+			t.Fatalf("round %d: warm objective %.12g != cold %.12g", round, w, cobj)
+		}
+	}
+	if warm.Stats().Rebalances == 0 && cold.Stats().Rebalances == 0 {
+		t.Log("note: no rebalance triggered this sequence")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"pop/internal/core"
 	"pop/internal/lb"
@@ -22,11 +23,26 @@ type lbSubResult struct {
 	optimal   bool
 }
 
+// lbSub is one sub-problem's persistent LP state — the live relaxation
+// model and the member list it encodes.
+//
+// Block layout, for n shards over mS partition servers: variables are mS
+// serving fractions then mS placement indicators per shard (block i at
+// [i·2mS, (i+1)·2mS)); rows are mS linking rows then the coverage row per
+// shard (block i at [i·(mS+1), (i+1)·(mS+1))), followed by the shared
+// per-server load-band and memory rows (3 per server).
+type lbSub struct {
+	model *lp.Model
+	ids   []int
+}
+
 // LBEngine incrementally maintains a POP shard-balancing assignment on the
-// continuous relaxation of the §4.3 formulation: shard load changes dirty
-// only their own sub-problem, which is re-solved warm-started from its
-// previous basis. Servers are split across sub-problems once, at the first
-// Step. Not safe for concurrent use.
+// continuous relaxation of the §4.3 formulation: shard load changes patch
+// the persistent sub-problem models in place (band right-hand sides and
+// load coefficients), so a re-solve pays pivots, not construction; a
+// tolerance-only change is a pure rhs delta and rides the dual simplex.
+// Servers are split across sub-problems once, at the first Step. Not safe
+// for concurrent use.
 type LBEngine struct {
 	t       *tracker
 	lpOpts  lp.Options
@@ -36,6 +52,7 @@ type LBEngine struct {
 	// placed[id] is the shard's current placement over its partition's
 	// servers (local order) — the cost anchor of the movement objective.
 	placed  map[int][]bool
+	subs    []*lbSub
 	results []*lbSubResult
 	tolFrac float64
 	haveTol bool
@@ -47,13 +64,18 @@ func NewLBEngine(opts Options, lpOpts lp.Options) (*LBEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LBEngine{
+	e := &LBEngine{
 		t:       t,
 		lpOpts:  lpOpts,
 		shards:  make(map[int]lb.Shard),
 		placed:  make(map[int][]bool),
+		subs:    make([]*lbSub, opts.K),
 		results: make([]*lbSubResult, opts.K),
-	}, nil
+	}
+	for p := range e.subs {
+		e.subs[p] = &lbSub{}
+	}
+	return e, nil
 }
 
 // Stats returns the engine's work counters.
@@ -76,7 +98,8 @@ func (e *LBEngine) Objective() float64 {
 }
 
 // syncServers (re)installs the server pool. Any capacity change dirties
-// every sub-problem.
+// every sub-problem and invalidates the persistent models (the per-server
+// block shape may have changed).
 func (e *LBEngine) syncServers(servers []lb.Server) error {
 	k := e.t.opts.K
 	if len(servers) < k {
@@ -87,14 +110,18 @@ func (e *LBEngine) syncServers(servers []lb.Server) error {
 	}
 	e.servers = append([]lb.Server(nil), servers...)
 	e.groups = core.Partition(len(servers), k, core.RoundRobin, 0, nil)
+	for p := range e.subs {
+		e.subs[p] = &lbSub{}
+	}
 	e.t.markAllDirty()
 	return nil
 }
 
 // Step diffs the instance against engine state (shard arrivals, departures,
 // load/memory changes, placement drift, server changes), re-solves the
-// dirtied sub-problems warm-started, and returns the composed assignment in
-// the instance's coordinates. It has lb.Solver's shape via Solver.
+// dirtied sub-problems from their persistent models, and returns the
+// composed assignment in the instance's coordinates. It has lb.Solver's
+// shape via Solver.
 func (e *LBEngine) Step(inst *lb.Instance) (*lb.Assignment, error) {
 	if len(inst.Shards) == 0 || len(inst.Servers) == 0 {
 		return nil, fmt.Errorf("online: empty instance")
@@ -142,6 +169,15 @@ func (e *LBEngine) Step(inst *lb.Instance) (*lb.Assignment, error) {
 		e.t.remove(id)
 	}
 
+	// A rebalance move changes a shard's partition, and with it the local
+	// coordinates of its placement anchor; move first, then refresh the
+	// anchors so the dirtied sub-problems solve against consistent costs.
+	if e.t.opts.Rebalance {
+		e.t.rebalance()
+		for id, row := range rowOf {
+			e.placed[id] = localPlacement(inst.Placement[row], e.groups[e.t.partOf[id]])
+		}
+	}
 	if err := e.solve(); err != nil {
 		return nil, err
 	}
@@ -164,29 +200,29 @@ func localPlacement(full []bool, group []int) []bool {
 // solve re-solves the dirty sub-problems on the relaxed §4.3 formulation,
 // falling back to the greedy when a sub-problem's band is infeasible.
 func (e *LBEngine) solve() error {
-	return e.t.solveDirty(func(p int, ids []int, prevBasis *lp.Basis, prevIDs []int) (subReport, error) {
+	return e.t.solveDirty(func(p int, ids []int) (subReport, error) {
 		group := e.groups[p]
 		mS := len(group)
 		if len(ids) == 0 {
 			e.results[p] = &lbSubResult{index: map[int]int{}, optimal: true}
+			e.subs[p] = &lbSub{}
 			return subReport{}, nil
 		}
-		lay := BlockLayout{VarsPerClient: 2 * mS, RowsPerClient: mS + 1, SharedVars: 0, SharedRows: 3 * mS}
-		warm := prevBasis
-		if warm != nil && !slices.Equal(prevIDs, ids) {
-			warm = RemapBasis(warm, lay, prevIDs, ids)
-		}
-
 		members := make([]lb.Shard, len(ids))
 		placement := make([][]bool, len(ids))
 		for i, id := range ids {
 			members[i] = e.shards[id]
 			placement[i] = e.placed[id]
 		}
-		prob := buildLBRelaxation(members, placement, e.subServers(p), e.tolFrac)
-		opts := e.lpOpts
-		opts.WarmBasis = warm
-		sol, err := prob.SolveWithOptions(opts)
+
+		start := time.Now()
+		m := e.syncLBModel(p, ids, members, placement)
+		warmAttempted := m.HasBasis()
+		buildNs := time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		sol, err := m.SolveWithOptions(e.lpOpts)
+		solveNs := time.Since(start).Nanoseconds()
 		if err != nil {
 			return subReport{}, err
 		}
@@ -196,7 +232,7 @@ func (e *LBEngine) solve() error {
 			index:     make(map[int]int, len(ids)),
 			frac:      make([][]float64, len(ids)),
 			placed:    make([][]bool, len(ids)),
-			variables: prob.NumVariables(),
+			variables: m.NumVariables(),
 		}
 		for i, id := range ids {
 			res.index[id] = i
@@ -208,7 +244,7 @@ func (e *LBEngine) solve() error {
 			res.frac, res.placed = g.Frac, g.Placed
 			res.objective = g.MovedBytes
 			e.results[p] = res
-			return subReport{}, nil
+			return subReport{warmAttempted: warmAttempted, buildNs: buildNs, solveNs: solveNs}, nil
 		}
 		for i := range ids {
 			res.frac[i] = make([]float64, mS)
@@ -222,8 +258,101 @@ func (e *LBEngine) solve() error {
 		res.objective = sol.Objective
 		res.optimal = true
 		e.results[p] = res
-		return subReport{basis: sol.Basis, warmStarted: sol.WarmStarted, iterations: sol.Iterations}, nil
+		return subReport{
+			warmAttempted: warmAttempted,
+			warmStarted:   sol.WarmStarted,
+			iterations:    sol.Iterations,
+			dualPivots:    sol.DualPivots,
+			buildNs:       buildNs,
+			solveNs:       solveNs,
+		}, nil
 	})
+}
+
+// syncLBModel brings partition p's persistent relaxation model in line with
+// the current members, placements, loads, and tolerance. Structure is
+// spliced for membership changes; every data-dependent value is rewritten
+// through setters that no-op on unchanged values, so a tolerance-only round
+// arrives at the solver as a pure rhs delta (dual simplex) and a
+// placement-only round as a pure objective delta.
+func (e *LBEngine) syncLBModel(p int, ids []int, members []lb.Shard, placement [][]bool) *lp.Model {
+	ls := e.subs[p]
+	group := e.groups[p]
+	mS := len(group)
+	if ls.model == nil || e.t.opts.NoWarmStart || overlap(ls.ids, ids) < 0.5 {
+		return e.rebuildLB(ls, ids, members, placement, p)
+	}
+	m := ls.model
+	if !syncMemberBlocks(m, &ls.ids, ids, 2*mS, mS+1, func(bi int) { appendShardBlock(m, bi, mS) }) {
+		return e.rebuildLB(ls, ids, members, placement, p)
+	}
+
+	// Full data refresh: movement costs per member, the shared band and
+	// memory rows through the bulk setter (one pass per row, not per
+	// member).
+	n := len(ids)
+	total := 0.0
+	for _, s := range members {
+		total += s.Load
+	}
+	L := total / float64(mS)
+	eps := e.tolFrac * L
+	sr := n * (mS + 1) // first shared row
+	aVar := func(i, j int) int { return i*2*mS + j }
+	mVar := func(i, j int) int { return i*2*mS + mS + j }
+	for i, s := range members {
+		for j := 0; j < mS; j++ {
+			cost := s.Mem
+			if placement[i][j] {
+				cost = 0
+			}
+			m.SetObjectiveCoeff(mVar(i, j), cost)
+		}
+	}
+	aIdx := make([]int, n)
+	loads := make([]float64, n)
+	mIdx := make([]int, n)
+	mems := make([]float64, n)
+	for j := 0; j < mS; j++ {
+		for i, s := range members {
+			aIdx[i] = aVar(i, j)
+			loads[i] = s.Load
+			mIdx[i] = mVar(i, j)
+			mems[i] = s.Mem
+		}
+		m.SetCoeffs(sr+3*j, aIdx, loads)   // loadhi
+		m.SetCoeffs(sr+3*j+1, aIdx, loads) // loadlo
+		m.SetCoeffs(sr+3*j+2, mIdx, mems)  // mem
+		m.SetRHS(sr+3*j, L+eps)
+		m.SetRHS(sr+3*j+1, L-eps)
+		m.SetRHS(sr+3*j+2, e.servers[group[j]].MemCap)
+	}
+	return m
+}
+
+func (e *LBEngine) rebuildLB(ls *lbSub, ids []int, members []lb.Shard, placement [][]bool, p int) *lp.Model {
+	ls.model = buildLBModel(members, placement, e.subServers(p), e.tolFrac)
+	ls.ids = append([]int(nil), ids...)
+	return ls.model
+}
+
+// appendShardBlock splices a new shard block at block index bi: mS serving
+// fractions, mS placement indicators, the linking rows, and the coverage
+// row. The shard's columns in the shared band/memory rows and its movement
+// costs are left to the refresh pass.
+func appendShardBlock(m *lp.Model, bi, mS int) {
+	at := bi * 2 * mS
+	m.InsertVariables(at, mS, 0, 0, 1)    // serving fractions
+	m.InsertVariables(at+mS, mS, 0, 0, 1) // placement indicators
+	rowAt := bi * (mS + 1)
+	aIdxs := make([]int, mS)
+	ones := make([]float64, mS)
+	for j := 0; j < mS; j++ {
+		m.InsertConstraint(rowAt+j, []int{at + j, at + mS + j}, []float64{1, -1}, lp.LE, 0, "link")
+		aIdxs[j] = at + j
+		ones[j] = 1
+	}
+	m.InsertConstraint(rowAt+mS, aIdxs, ones, lp.EQ, 1, "cover")
 }
 
 func (e *LBEngine) subServers(p int) []lb.Server {
@@ -297,11 +426,11 @@ func (e *LBEngine) compose(inst *lb.Instance, rowOf map[int]int) (*lb.Assignment
 	return out, nil
 }
 
-// buildLBRelaxation assembles the relaxed §4.3 LP in the remap-friendly
-// block layout. Per shard: mS serving fractions then mS placement
-// indicators (variables), mS linking rows then the coverage row; shared
-// per-server band and memory rows trail.
-func buildLBRelaxation(members []lb.Shard, placement [][]bool, servers []lb.Server, tolFrac float64) *lp.Problem {
+// buildLBModel assembles the relaxed §4.3 LP as a mutable model in the
+// block layout documented on lbSub. Per shard: mS serving fractions then mS
+// placement indicators (variables), mS linking rows then the coverage row;
+// shared per-server band and memory rows trail.
+func buildLBModel(members []lb.Shard, placement [][]bool, servers []lb.Server, tolFrac float64) *lp.Model {
 	n, mS := len(members), len(servers)
 	total := 0.0
 	for _, s := range members {
@@ -310,15 +439,15 @@ func buildLBRelaxation(members []lb.Shard, placement [][]bool, servers []lb.Serv
 	L := total / float64(mS)
 	eps := tolFrac * L
 
-	p := lp.NewProblem(lp.Minimize)
+	m := lp.NewModel(lp.Minimize)
 	for i, s := range members {
-		p.AddVariables(mS, 0, 0, 1) // serving fractions a_{i,*}
+		m.AddVariables(mS, 0, 0, 1) // serving fractions a_{i,*}
 		for j := 0; j < mS; j++ {   // placement indicators m_{i,*}
 			cost := s.Mem
 			if placement[i][j] {
 				cost = 0
 			}
-			p.AddVariable(cost, 0, 1, "")
+			m.AddVariable(cost, 0, 1, "")
 		}
 	}
 	aVar := func(i, j int) int { return i*2*mS + j }
@@ -326,7 +455,7 @@ func buildLBRelaxation(members []lb.Shard, placement [][]bool, servers []lb.Serv
 
 	for i := range members {
 		for j := 0; j < mS; j++ {
-			p.AddConstraint([]int{aVar(i, j), mVar(i, j)}, []float64{1, -1}, lp.LE, 0, "link")
+			m.AddConstraint([]int{aVar(i, j), mVar(i, j)}, []float64{1, -1}, lp.LE, 0, "link")
 		}
 		idxs := make([]int, mS)
 		ones := make([]float64, mS)
@@ -334,7 +463,7 @@ func buildLBRelaxation(members []lb.Shard, placement [][]bool, servers []lb.Serv
 			idxs[j] = aVar(i, j)
 			ones[j] = 1
 		}
-		p.AddConstraint(idxs, ones, lp.EQ, 1, "cover")
+		m.AddConstraint(idxs, ones, lp.EQ, 1, "cover")
 	}
 	for j := 0; j < mS; j++ {
 		idxs := make([]int, n)
@@ -347,9 +476,9 @@ func buildLBRelaxation(members []lb.Shard, placement [][]bool, servers []lb.Serv
 			midx[i] = mVar(i, j)
 			mems[i] = s.Mem
 		}
-		p.AddConstraint(idxs, loads, lp.LE, L+eps, "loadhi")
-		p.AddConstraint(idxs, loads, lp.GE, L-eps, "loadlo")
-		p.AddConstraint(midx, mems, lp.LE, servers[j].MemCap, "mem")
+		m.AddConstraint(idxs, loads, lp.LE, L+eps, "loadhi")
+		m.AddConstraint(idxs, loads, lp.GE, L-eps, "loadlo")
+		m.AddConstraint(midx, mems, lp.LE, servers[j].MemCap, "mem")
 	}
-	return p
+	return m
 }

@@ -173,7 +173,7 @@ func solveScaled(inst *Instance, obj Objective, capScale float64, sub []int, opt
 			sub[j] = j
 		}
 	}
-	p := lp.NewProblem(lp.Maximize)
+	p := lp.NewModel(lp.Maximize)
 
 	// One variable per (demand, path).
 	type varRef struct{ j, p int }
