@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 # lint runs vet plus staticcheck when it is installed (CI installs it in a
-# dedicated non-blocking job; locally it is optional).
+# dedicated blocking job; locally it is optional).
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -38,7 +38,8 @@ bench-lp:
 
 # bench-online regenerates BENCH_online.json, the online engine perf
 # trajectory (warm incremental vs cold full re-solve across a dirty-fraction
-# sweep on cluster/lb-shaped round sequences).
+# sweep on cluster, capacity-jitter, lb, TE demand-churn, and space-sharing
+# round sequences).
 bench-online:
 	$(GO) run ./cmd/onlinebench -reps 3 -o BENCH_online.json
 

@@ -1,14 +1,17 @@
 // Command onlinebench measures the online allocation engine: per-round
 // latency of the persistent-model mutation path (mutate in place, re-solve
 // warm or via the dual simplex) against a cold rebuild-and-solve baseline,
-// over cluster- and lb-shaped round sequences swept across dirty fractions
-// (the share of clients whose data changes per round), plus a full-dirty
-// capacity-jitter sequence whose rhs-only deltas ride the dual simplex.
-// Each record splits the per-round time into model build/mutation time and
-// LP pivot time, so the constant-factor win of mutate-over-rebuild is
-// visible next to the pivot win of warm/dual starts. It writes a JSON
-// regression record (BENCH_online.json via `make bench-online`) so every
-// PR has an online-path perf trajectory to compare against.
+// over round sequences from all three of the paper's case studies swept
+// across dirty fractions (the share of clients whose data changes per
+// round): cluster job churn, a full-dirty capacity-jitter sequence whose
+// rhs-only deltas ride the dual simplex, lb shard-load jitter, TE
+// demand-churn (amount-only shifts — again pure rhs deltas), and the
+// pair-block space-sharing policy under weight churn. Each record splits
+// the per-round time into model build/mutation time and LP pivot time, so
+// the constant-factor win of mutate-over-rebuild is visible next to the
+// pivot win of warm/dual starts. It writes a JSON regression record
+// (BENCH_online.json via `make bench-online`) so every PR has an
+// online-path perf trajectory to compare against.
 //
 // Usage:
 //
@@ -28,6 +31,9 @@ import (
 	"pop/internal/lb"
 	"pop/internal/lp"
 	"pop/internal/online"
+	"pop/internal/te"
+	"pop/internal/tm"
+	"pop/internal/topo"
 )
 
 type record struct {
@@ -85,6 +91,12 @@ func main() {
 	rep.Records = append(rep.Records, benchCapacity(*rounds, *reps, *seed))
 	for _, f := range fracs {
 		rep.Records = append(rep.Records, benchLB(f, *rounds, *reps, *seed))
+	}
+	for _, f := range fracs {
+		rep.Records = append(rep.Records, benchTE(f, *rounds, *reps, *seed))
+	}
+	for _, f := range fracs {
+		rep.Records = append(rep.Records, benchSpaceSharing(f, *rounds, *reps, *seed))
 	}
 
 	logGeo := 0.0
@@ -275,6 +287,147 @@ func benchCapacity(rounds, reps int, seed int64) record {
 
 			start = time.Now()
 			cold.SetCluster(next)
+			cold.MarkAllDirty()
+			die(cold.Solve())
+			coldNs += time.Since(start).Nanoseconds()
+
+			if d := math.Abs(warm.Objective() - cold.Objective()); d > rec.MaxObjDelta {
+				rec.MaxObjDelta = d
+			}
+		}
+		if warmNs < bestWarm {
+			bestWarm = warmNs
+			bookWarm(&rec, delta(warm.Stats(), warm0), rounds)
+		}
+		if coldNs < bestCold {
+			bestCold = coldNs
+			bookCold(&rec, delta(cold.Stats(), cold0), rounds)
+		}
+	}
+	rec.WarmNsPerRnd = bestWarm / int64(rounds)
+	rec.ColdNsPerRnd = bestCold / int64(rounds)
+	rec.ObjAgree = rec.MaxObjDelta <= 1e-6
+	if rec.WarmNsPerRnd > 0 {
+		rec.Speedup = float64(rec.ColdNsPerRnd) / float64(rec.WarmNsPerRnd)
+	}
+	return rec
+}
+
+// benchTE replays the WAN re-planning regime: every round dirtyFrac of the
+// commodities shift their demand amount over a stable topology. Under
+// MaxTotalFlow an amount shift is a single rhs edit on the commodity's cap
+// row, so the mutation engine re-solves each dirtied sub-problem with dual
+// simplex pivots from the previous basis while the cold engine rebuilds the
+// path LP and runs phase 1 from scratch.
+func benchTE(dirtyFrac float64, rounds, reps int, seed int64) record {
+	const nDemands, k = 192, 4
+	tp := topo.GenerateScaled("Deltacom", 0.5)
+	rec := record{Family: "te", Clients: nDemands, K: k, DirtyFrac: dirtyFrac, Rounds: rounds, ObjAgree: true}
+	bestWarm, bestCold := int64(math.MaxInt64), int64(math.MaxInt64)
+
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(seed + 17))
+		demands := tm.Generate(tm.Config{
+			Nodes: tp.G.N, Commodities: nDemands, Model: tm.Gravity,
+			TotalDemand: tp.TotalCapacity() * 0.4, Seed: seed + 5,
+		})
+		warm, err := online.NewTEEngine(tp, te.MaxTotalFlow, 4, online.Options{K: k}, lp.Options{})
+		die(err)
+		cold, err := online.NewTEEngine(tp, te.MaxTotalFlow, 4, online.Options{K: k, NoWarmStart: true}, lp.Options{})
+		die(err)
+		for id, d := range demands {
+			warm.Upsert(id, d)
+			cold.Upsert(id, d)
+		}
+		die(warm.Solve())
+		cold.MarkAllDirty()
+		die(cold.Solve())
+		warm0, cold0 := warm.Stats(), cold.Stats()
+
+		var warmNs, coldNs int64
+		for round := 0; round < rounds; round++ {
+			nTouch := int(math.Max(1, dirtyFrac*nDemands))
+			for t := 0; t < nTouch; t++ {
+				id := rng.Intn(nDemands)
+				demands[id].Amount *= math.Exp(rng.NormFloat64() * 0.25)
+				warm.Upsert(id, demands[id])
+				cold.Upsert(id, demands[id])
+			}
+			start := time.Now()
+			die(warm.Solve())
+			warmNs += time.Since(start).Nanoseconds()
+
+			start = time.Now()
+			cold.MarkAllDirty()
+			die(cold.Solve())
+			coldNs += time.Since(start).Nanoseconds()
+
+			if d := math.Abs(warm.Objective() - cold.Objective()); d > rec.MaxObjDelta {
+				rec.MaxObjDelta = d
+			}
+		}
+		if warmNs < bestWarm {
+			bestWarm = warmNs
+			bookWarm(&rec, delta(warm.Stats(), warm0), rounds)
+		}
+		if coldNs < bestCold {
+			bestCold = coldNs
+			bookCold(&rec, delta(cold.Stats(), cold0), rounds)
+		}
+	}
+	rec.WarmNsPerRnd = bestWarm / int64(rounds)
+	rec.ColdNsPerRnd = bestCold / int64(rounds)
+	rec.ObjAgree = rec.MaxObjDelta <= 1e-6
+	if rec.WarmNsPerRnd > 0 {
+		rec.Speedup = float64(rec.ColdNsPerRnd) / float64(rec.WarmNsPerRnd)
+	}
+	return rec
+}
+
+// benchSpaceSharing replays weight churn through the pair-block
+// space-sharing policy — the quadratic-variable regime of Figure 6, online:
+// a weight change touches only the job's own fairness row, so the mutation
+// engine patches a handful of coefficients in a model whose pair blocks it
+// never rebuilds, while the cold engine reconstructs the whole O(n²/k²)
+// slot enumeration every round.
+func benchSpaceSharing(dirtyFrac float64, rounds, reps int, seed int64) record {
+	const nJobs, k = 96, 4
+	c := cluster.NewCluster(24, 24, 24)
+	rec := record{Family: "spacesharing", Clients: nJobs, K: k, DirtyFrac: dirtyFrac, Rounds: rounds, ObjAgree: true}
+	bestWarm, bestCold := int64(math.MaxInt64), int64(math.MaxInt64)
+
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(seed + 23))
+		jobs := cluster.GenerateJobs(nJobs, seed+2, 0.1)
+		warm, err := online.NewClusterEngine(c, online.SpaceSharing, online.Options{K: k}, lp.Options{})
+		die(err)
+		cold, err := online.NewClusterEngine(c, online.SpaceSharing, online.Options{K: k, NoWarmStart: true}, lp.Options{})
+		die(err)
+		live := make([]cluster.Job, len(jobs))
+		copy(live, jobs)
+		for _, j := range live {
+			warm.Upsert(j)
+			cold.Upsert(j)
+		}
+		die(warm.Solve())
+		cold.MarkAllDirty()
+		die(cold.Solve())
+		warm0, cold0 := warm.Stats(), cold.Stats()
+
+		var warmNs, coldNs int64
+		for round := 0; round < rounds; round++ {
+			nTouch := int(math.Max(1, dirtyFrac*nJobs))
+			for t := 0; t < nTouch; t++ {
+				i := rng.Intn(len(live))
+				live[i].Weight = 0.5 + rng.Float64()*2
+				warm.Upsert(live[i])
+				cold.Upsert(live[i])
+			}
+			start := time.Now()
+			die(warm.Solve())
+			warmNs += time.Since(start).Nanoseconds()
+
+			start = time.Now()
 			cold.MarkAllDirty()
 			die(cold.Solve())
 			coldNs += time.Since(start).Nanoseconds()

@@ -9,6 +9,7 @@
 //
 //	POST   /v1/jobs            submit or update a job (batched until the next round)
 //	DELETE /v1/jobs/{id}       remove a job (batched)
+//	PUT    /v1/cluster         install new per-type GPU capacities (next round)
 //	POST   /v1/tick            force a scheduling round now
 //	GET    /v1/allocation      full allocation snapshot of the last round
 //	GET    /v1/allocation/{id} one job's allocation
@@ -18,6 +19,9 @@
 // Usage:
 //
 //	popserver [-addr :8080] [-gpus 32,32,32] [-k 8] [-round 2s] [-policy maxmin] [-rebalance]
+//
+// -policy selects maxmin, makespan, or spacesharing (pair slots for
+// single-GPU jobs, solved online from the pair-block layout).
 //
 // With -round 0 no ticker runs and rounds happen only via POST /v1/tick.
 //
@@ -49,7 +53,7 @@ func main() {
 		gpus      = flag.String("gpus", "32,32,32", "comma-separated GPU counts for K80,P100,V100")
 		k         = flag.Int("k", 8, "number of POP sub-problems")
 		round     = flag.Duration("round", 2*time.Second, "scheduling round length (0 = manual ticks only)")
-		policyFl  = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan")
+		policyFl  = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan | spacesharing")
 		parallel  = flag.Bool("parallel", true, "solve dirty sub-problems concurrently")
 		rebalance = flag.Bool("rebalance", false, "move ≤1 job per round toward the least-loaded sub-problem")
 	)
@@ -66,8 +70,10 @@ func main() {
 		policy = online.MaxMinFairness
 	case "makespan", "min-makespan":
 		policy = online.MinMakespan
+	case "spacesharing", "space-sharing":
+		policy = online.SpaceSharing
 	default:
-		fmt.Fprintf(os.Stderr, "popserver: unknown policy %q (want maxmin|makespan)\n", *policyFl)
+		fmt.Fprintf(os.Stderr, "popserver: unknown policy %q (want maxmin|makespan|spacesharing)\n", *policyFl)
 		os.Exit(2)
 	}
 

@@ -23,10 +23,13 @@ type jobSpec struct {
 	MemFrac    float64   `json:"mem_frac,omitempty"`
 }
 
-// jobAlloc is one job's slice of the current allocation snapshot.
+// jobAlloc is one job's slice of the current allocation snapshot. X is the
+// solo time fraction per GPU type; under the space-sharing policy jobs run
+// in shared slots instead, so X is omitted and EffThr already folds in the
+// interference factors.
 type jobAlloc struct {
 	ID     int       `json:"id"`
-	X      []float64 `json:"x"` // time fraction per GPU type
+	X      []float64 `json:"x,omitempty"` // time fraction per GPU type
 	EffThr float64   `json:"effective_throughput"`
 }
 
@@ -83,6 +86,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRemove)
+	mux.HandleFunc("PUT /v1/cluster", s.handleSetCluster)
 	mux.HandleFunc("POST /v1/tick", s.handleTick)
 	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
 	mux.HandleFunc("GET /v1/allocation/{id}", s.handleAllocationOne)
@@ -113,8 +117,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "id must be non-negative")
 		return
 	}
-	if len(spec.Throughput) != s.c.NumTypes() {
-		writeErr(w, http.StatusBadRequest, "throughput must have %d entries (one per GPU type)", s.c.NumTypes())
+	s.mu.Lock()
+	numTypes := s.c.NumTypes()
+	s.mu.Unlock()
+	if len(spec.Throughput) != numTypes {
+		writeErr(w, http.StatusBadRequest, "throughput must have %d entries (one per GPU type)", numTypes)
 		return
 	}
 	for _, t := range spec.Throughput {
@@ -162,6 +169,52 @@ func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{"queued": true, "pending": n})
 }
 
+// clusterSpec is the wire format of a resource-capacity update.
+type clusterSpec struct {
+	GPUs []float64 `json:"gpus"`
+}
+
+// handleSetCluster installs new per-type GPU capacities (the autoscaling
+// path). The change takes effect at the next round, where it dirties every
+// sub-problem; under MinMakespan the deltas are pure right-hand sides, so
+// the re-solves ride the dual simplex. The type set is fixed at startup —
+// jobs are validated against it — so the capacity vector must keep its
+// length.
+func (s *server) handleSetCluster(w http.ResponseWriter, r *http.Request) {
+	var spec clusterSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad cluster spec: %v", err)
+		return
+	}
+	// The type count is fixed at startup (every accepted PUT preserves it),
+	// so validating against a snapshot then writing under a fresh lock stays
+	// consistent.
+	s.mu.Lock()
+	numTypes := s.c.NumTypes()
+	s.mu.Unlock()
+	if len(spec.GPUs) != numTypes {
+		writeErr(w, http.StatusBadRequest, "gpus must have %d entries (one per GPU type)", numTypes)
+		return
+	}
+	for _, g := range spec.GPUs {
+		if g < 0 {
+			writeErr(w, http.StatusBadRequest, "GPU counts must be non-negative")
+			return
+		}
+	}
+	s.mu.Lock()
+	s.c = cluster.Cluster{
+		TypeNames: s.c.TypeNames,
+		NumGPUs:   append([]float64(nil), spec.GPUs...),
+	}
+	c := s.c
+	round := s.snap.Round
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"gpu_types": c.TypeNames, "gpus": c.NumGPUs, "effective_after_round": round,
+	})
+}
+
 // drain blocks until no scheduling round holds the engine — the graceful
 // shutdown barrier: once it returns (with the ticker stopped and the HTTP
 // server shut down), no round is in flight and none can start.
@@ -181,6 +234,7 @@ func (s *server) tick() (snapshot, error) {
 	pending := s.pending
 	s.pending = nil
 	round := s.snap.Round
+	c := s.c
 	s.mu.Unlock()
 
 	for _, m := range pending {
@@ -200,13 +254,17 @@ func (s *server) tick() (snapshot, error) {
 		Jobs:       make(map[string]jobAlloc, len(jobs)),
 	}
 	if len(jobs) > 0 {
-		alloc, err := s.eng.Step(jobs, s.c)
+		alloc, err := s.eng.Step(jobs, c)
 		if err != nil {
 			// The mutations were applied; only the snapshot is lost.
 			return snapshot{}, err
 		}
 		for i, j := range jobs {
-			snap.Jobs[strconv.Itoa(j.ID)] = jobAlloc{ID: j.ID, X: alloc.X[i], EffThr: alloc.EffThr[i]}
+			ja := jobAlloc{ID: j.ID, EffThr: alloc.EffThr[i]}
+			if alloc.X != nil {
+				ja.X = alloc.X[i]
+			}
+			snap.Jobs[strconv.Itoa(j.ID)] = ja
 		}
 	}
 	snap.SolveTimeMs = float64(time.Since(start).Microseconds()) / 1000

@@ -149,6 +149,115 @@ func TestServerValidation(t *testing.T) {
 	do(t, "GET", ts.URL+"/healthz", nil, http.StatusOK)
 }
 
+// TestServerSetCluster drives the resource-capacity endpoint: a PUT
+// reshapes the pool for the next round, dirtying every sub-problem and
+// never lowering the max-min fair floor when capacity only grows; malformed
+// specs are rejected without touching the pool.
+func TestServerSetCluster(t *testing.T) {
+	s, ts := newTestServer(t)
+	jobs := make([]cluster.Job, 6)
+	for id := 0; id < 6; id++ {
+		thr := []float64{1, 1.5 + float64(id)*0.2, 3}
+		jobs[id] = cluster.Job{ID: id, Throughput: thr, Weight: 1, Scale: 1, NumSteps: 1, Priority: 1}
+		do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: id, Throughput: thr}, http.StatusAccepted)
+	}
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	small := cluster.NewCluster(4, 4, 4)
+	floorBefore := minRatio(t, ts, jobs, small)
+	solvesBefore := int(engineStat(t, ts, "sub_solves"))
+
+	resp := do(t, "PUT", ts.URL+"/v1/cluster", clusterSpec{GPUs: []float64{8, 8, 8}}, http.StatusOK)
+	gpus, ok := resp["gpus"].([]any)
+	if !ok || len(gpus) != 3 || gpus[0].(float64) != 8 {
+		t.Fatalf("PUT /v1/cluster echoed %v", resp["gpus"])
+	}
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	big := cluster.NewCluster(8, 8, 8)
+	if got := s.eng.Cluster().NumGPUs[0]; got != 8 {
+		t.Fatalf("engine cluster not updated: %g GPUs of type 0, want 8", got)
+	}
+	// The capacity change dirties both sub-problems.
+	if got := int(engineStat(t, ts, "sub_solves")) - solvesBefore; got != 2 {
+		t.Fatalf("capacity change re-solved %d sub-problems, want 2", got)
+	}
+	// More GPUs with identical (clamped) equal shares: the fair floor —
+	// min normalized ratio, the policy's objective — must not drop.
+	if floorAfter := minRatio(t, ts, jobs, big); floorAfter < floorBefore-1e-9 {
+		t.Fatalf("fair floor dropped after capacity doubled: %g -> %g", floorBefore, floorAfter)
+	}
+
+	// Malformed specs: wrong arity, negative counts, bad JSON.
+	do(t, "PUT", ts.URL+"/v1/cluster", clusterSpec{GPUs: []float64{8, 8}}, http.StatusBadRequest)
+	do(t, "PUT", ts.URL+"/v1/cluster", clusterSpec{GPUs: []float64{8, -1, 8}}, http.StatusBadRequest)
+	do(t, "PUT", ts.URL+"/v1/cluster", "not a cluster", http.StatusBadRequest)
+	if got := s.eng.Cluster().NumGPUs[0]; got != 8 {
+		t.Fatalf("rejected PUT changed the cluster: %g GPUs of type 0", got)
+	}
+}
+
+// minRatio recomputes the max-min objective — the minimum normalized
+// throughput ratio — from the served allocation snapshot.
+func minRatio(t *testing.T, ts *httptest.Server, jobs []cluster.Job, c cluster.Cluster) float64 {
+	t.Helper()
+	snap := do(t, "GET", ts.URL+"/v1/allocation", nil, http.StatusOK)
+	served, _ := snap["jobs"].(map[string]any)
+	a := &cluster.Allocation{EffThr: make([]float64, len(jobs))}
+	for i, j := range jobs {
+		ja, ok := served[fmt.Sprint(j.ID)].(map[string]any)
+		if !ok {
+			t.Fatalf("job %d missing from allocation snapshot", j.ID)
+		}
+		a.EffThr[i] = ja["effective_throughput"].(float64)
+	}
+	min, _ := cluster.MinMean(cluster.NormalizedRatios(jobs, c, a))
+	return min
+}
+
+func engineStat(t *testing.T, ts *httptest.Server, key string) float64 {
+	t.Helper()
+	stats := do(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK)
+	eng, ok := stats["engine"].(map[string]any)
+	if !ok {
+		t.Fatal("stats missing engine section")
+	}
+	v, ok := eng[key].(float64)
+	if !ok {
+		t.Fatalf("stats engine section missing %q", key)
+	}
+	return v
+}
+
+// TestServerSpaceSharingPolicy runs a round under the space-sharing policy:
+// jobs are allocated through shared slots, so the snapshot reports effective
+// throughputs without solo X rows.
+func TestServerSpaceSharingPolicy(t *testing.T) {
+	s, err := newServer(cluster.NewCluster(3, 3, 3), online.SpaceSharing, online.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	for id := 0; id < 8; id++ {
+		do(t, "POST", ts.URL+"/v1/jobs",
+			jobSpec{ID: id, Throughput: []float64{1, 2, 3.5 + float64(id)*0.1}}, http.StatusAccepted)
+	}
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	snap := do(t, "GET", ts.URL+"/v1/allocation", nil, http.StatusOK)
+	served, _ := snap["jobs"].(map[string]any)
+	if len(served) != 8 {
+		t.Fatalf("snapshot has %d jobs, want 8", len(served))
+	}
+	for id, v := range served {
+		ja := v.(map[string]any)
+		if thr := ja["effective_throughput"].(float64); thr <= 0 {
+			t.Fatalf("job %s starved under space sharing: %g", id, thr)
+		}
+		if _, has := ja["x"]; has {
+			t.Fatalf("job %s snapshot carries solo X rows under space sharing", id)
+		}
+	}
+}
+
 // TestServerAllocationFeasible checks the composed allocation against the
 // cluster budgets after a few churn rounds.
 func TestServerAllocationFeasible(t *testing.T) {

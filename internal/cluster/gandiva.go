@@ -95,6 +95,6 @@ func Gandiva(jobs []Job, c Cluster, seed int64) *Allocation {
 		row[s.typ] = 1
 		a.PairX[si] = row
 	}
-	fillPairEffThr(jobs, a)
+	FillPairEffThr(jobs, a)
 	return a
 }

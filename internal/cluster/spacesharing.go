@@ -137,12 +137,16 @@ func MaxMinFairnessSpaceSharing(jobs []Job, c Cluster, opts lp.Options) (*Alloca
 			a.PairX[q][i] = sol.X[varOf[q][i]]
 		}
 	}
-	fillPairEffThr(jobs, a)
+	FillPairEffThr(jobs, a)
 	return a, nil
 }
 
-// fillPairEffThr recomputes EffThr from Pairs/PairX.
-func fillPairEffThr(jobs []Job, a *Allocation) {
+// FillPairEffThr recomputes EffThr from Pairs/PairX, applying the
+// interference factor to shared slots. jobs must cover every job referenced
+// by a.Pairs; extra jobs are left at zero throughput. The online
+// space-sharing adapter composes per-partition allocations and reuses this
+// to score them consistently with the batch policy.
+func FillPairEffThr(jobs []Job, a *Allocation) {
 	index := indexByID(jobs)
 	for idx := range a.EffThr {
 		a.EffThr[idx] = 0

@@ -1,0 +1,292 @@
+package online
+
+import (
+	"math"
+	"slices"
+	"time"
+
+	"pop/internal/lp"
+)
+
+// NoPartner marks a BlockKey owned by a single client.
+const NoPartner = -1
+
+// BlockKey identifies one LP block inside a sub-problem's persistent model.
+// A is the owning client's tracker id; B is a second owner for blocks shared
+// by two clients (the space-sharing pair slots), or NoPartner for blocks
+// owned by one client alone. One client may own any number of blocks.
+type BlockKey struct {
+	A, B int
+}
+
+// Contains reports whether id owns (part of) the block.
+func (k BlockKey) Contains(id int) bool { return k.A == id || k.B == id }
+
+// Block is one keyed slice of a sub-problem's LP: Vars consecutive
+// variables and Rows consecutive constraint rows. A partition's model lays
+// its blocks out contiguously in layout order — all block variables first
+// (then any shared variables), all block rows first (then any shared rows) —
+// so the engine can splice whole blocks with lp.Model's structural
+// operations while the stored basis carries the survivors' statuses along.
+//
+// Gen is an adapter-chosen content generation: a block whose Gen differs
+// from the model's current one is removed and respliced even though its key
+// and shape are unchanged. Adapters whose block *structure* depends on data
+// RefreshModel does not rewrite (the TE adapter's path sets, which place
+// static coefficients in the shared edge rows) bump it when that data
+// changes; adapters whose structure is a pure function of key and shape
+// leave it zero.
+type Block struct {
+	Key  BlockKey
+	Vars int
+	Rows int
+	Gen  int
+}
+
+// Adapter is the problem-specific half of an online engine. The generic
+// engine owns partitions, dirty tracking, the rebuild-vs-splice decision,
+// solve timing, and stats; the adapter owns the LP formulation:
+//
+//   - Layout declares the block sequence a partition's model must hold for
+//     its current members — the block-shape contract. Layouts must be
+//     deterministic in (p, ids) and keep a departing member's blocks
+//     removable and an arriving member's blocks insertable without
+//     reordering survivors (append-ordered enumerations have this
+//     property). Shared variables and rows trail the block region and are
+//     not declared; the adapter places them in BuildModel and locates them
+//     by counting from the model's end.
+//   - BuildModel constructs a fresh model for the layout, encoding the
+//     current data completely (it is also the cold-baseline build, so it
+//     should use the plain builder API, not splices).
+//   - SpliceBlock inserts one block's structure into a live model at the
+//     engine-computed variable/row positions. Static coefficients may be
+//     written here; data-dependent values are left to RefreshModel, which
+//     always runs after a splice pass.
+//   - RefreshModel rewrites every data-dependent coefficient, objective
+//     entry, bound, and right-hand side against the current member data.
+//     Model setters no-op on unchanged values, so the delta class the
+//     solver sees — and with it dual-simplex eligibility — stays exact.
+//   - WarmHostile reports whether this round's refresh makes the stale
+//     basis worthless — because a shared input rotates the partition's
+//     coefficients globally (e.g. every equal-share denominator at once),
+//     or because the touched-member count (passed by the engine) says most
+//     of the partition's rows move anyway. The engine then drops the basis
+//     instead of paying a fruitless warm repair, and rebuilds outright when
+//     the layout also changed, since splicing buys nothing. Adapters whose
+//     refreshes are always local return false.
+//   - Extract caches partition p's solution on the adapter side (the engine
+//     never interprets variables). sol is nil when the layout was empty or
+//     all-zero-width — a vacuous sub-problem the engine did not solve.
+//   - Clear resets partition p's cached result to empty (no members).
+type Adapter interface {
+	Layout(p int, ids []int) []Block
+	BuildModel(p int, layout []Block) *lp.Model
+	SpliceBlock(m *lp.Model, p int, b Block, varAt, rowAt int)
+	RefreshModel(m *lp.Model, p int, layout []Block)
+	WarmHostile(p int, ids []int, touched int) bool
+	Extract(p int, layout []Block, sol *lp.Solution, nVars int) error
+	Clear(p int)
+}
+
+// sub is one partition's persistent LP state: the live model and the block
+// sequence it currently encodes.
+type sub struct {
+	model  *lp.Model
+	blocks []Block
+}
+
+// engine is the domain-independent online engine: a tracker for stable
+// partitions plus one persistent model per partition, kept in sync with the
+// adapter's declared layout. Domain engines (ClusterEngine, LBEngine,
+// TEEngine) wrap it with their delta APIs.
+type engine struct {
+	t      *tracker
+	ad     Adapter
+	lpOpts lp.Options
+	subs   []*sub
+}
+
+func newEngine(ad Adapter, opts Options, lpOpts lp.Options) (*engine, error) {
+	t, err := newTracker(opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{t: t, ad: ad, lpOpts: lpOpts, subs: make([]*sub, opts.K)}
+	for p := range e.subs {
+		e.subs[p] = &sub{}
+	}
+	return e, nil
+}
+
+// invalidateModels discards every partition's persistent model (the next
+// sync rebuilds fresh). Domain engines call it when a shared-structure input
+// changes shape — e.g. lb's server pool, which sets the per-block width.
+func (e *engine) invalidateModels() {
+	for p := range e.subs {
+		e.subs[p] = &sub{}
+	}
+}
+
+// solveRound re-solves every dirty partition through the adapter.
+func (e *engine) solveRound() error {
+	return e.t.solveDirty(e.subSolve)
+}
+
+// subSolve brings partition p's persistent model in line with the adapter's
+// declared layout and current data, solves it, and hands the solution to the
+// adapter. The sync path is chosen once per round:
+//
+//   - no model yet, warm starts disabled, or membership churned beyond
+//     recognition (block-key overlap < 0.5): build fresh;
+//   - a warm-hostile refresh combined with a layout change: build fresh
+//     (splicing preserves a basis the refresh is about to invalidate);
+//   - otherwise splice departed blocks out and new blocks in, refresh all
+//     data-dependent values, and drop the basis if the refresh was
+//     warm-hostile. A splice that cannot preserve survivor order or shape
+//     falls back to a fresh build.
+func (e *engine) subSolve(p int, ids []int) (subReport, error) {
+	if len(ids) == 0 {
+		e.subs[p] = &sub{}
+		e.ad.Clear(p)
+		return subReport{}, nil
+	}
+	start := time.Now()
+	want := e.ad.Layout(p, ids)
+	if blockVars(want) == 0 {
+		// Vacuous sub-problem (e.g. every commodity unroutable): nothing to
+		// solve, but the adapter still records the empty result.
+		e.subs[p] = &sub{}
+		if err := e.ad.Extract(p, want, nil, 0); err != nil {
+			return subReport{}, err
+		}
+		return subReport{buildNs: time.Since(start).Nanoseconds()}, nil
+	}
+	s := e.subs[p]
+	hostile := e.ad.WarmHostile(p, ids, len(e.t.parts[p].touched))
+	switch {
+	case s.model == nil || e.t.opts.NoWarmStart || keyOverlap(s.blocks, want) < 0.5 ||
+		(hostile && !slices.Equal(s.blocks, want)):
+		e.rebuild(s, p, want)
+	case !e.splice(s, p, want):
+		e.rebuild(s, p, want)
+	default:
+		e.ad.RefreshModel(s.model, p, s.blocks)
+		if hostile {
+			s.model.ForgetBasis()
+		}
+	}
+	warmAttempted := s.model.HasBasis()
+	buildNs := time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	sol, err := s.model.SolveWithOptions(e.lpOpts)
+	solveNs := time.Since(start).Nanoseconds()
+	if err != nil {
+		return subReport{}, err
+	}
+	if err := e.ad.Extract(p, s.blocks, sol, s.model.NumVariables()); err != nil {
+		return subReport{}, err
+	}
+	return subReport{
+		warmAttempted: warmAttempted,
+		warmStarted:   sol.WarmStarted,
+		iterations:    sol.Iterations,
+		dualPivots:    sol.DualPivots,
+		buildNs:       buildNs,
+		solveNs:       solveNs,
+	}, nil
+}
+
+func (e *engine) rebuild(s *sub, p int, want []Block) {
+	s.model = e.ad.BuildModel(p, want)
+	s.blocks = slices.Clone(want)
+}
+
+// splice mutates s.model toward the want layout: blocks that vanished —
+// or whose shape or content generation changed, making their structure
+// stale — are removed back-to-front, missing blocks are inserted at their
+// layout positions, and surviving blocks keep their variables, rows, and
+// basis statuses. It reports false — the caller rebuilds — when the
+// survivors' relative order differs from want's.
+func (e *engine) splice(s *sub, p int, want []Block) bool {
+	wantPos := make(map[BlockKey]int, len(want))
+	for i, b := range want {
+		wantPos[b.Key] = i
+	}
+	// Classify survivors (must match the wanted block exactly) and verify
+	// their relative order before touching the model, so a doomed splice
+	// never half-mutates it.
+	keep := make([]bool, len(s.blocks))
+	last := -1
+	for i, b := range s.blocks {
+		wi, ok := wantPos[b.Key]
+		if !ok || want[wi] != b {
+			continue // vanished, reshaped, or regenerated: remove + resplice
+		}
+		if wi <= last {
+			return false
+		}
+		last = wi
+		keep[i] = true
+	}
+	// Remove non-survivors back-to-front so earlier offsets stay valid.
+	varOff := make([]int, len(s.blocks)+1)
+	rowOff := make([]int, len(s.blocks)+1)
+	for i, b := range s.blocks {
+		varOff[i+1] = varOff[i] + b.Vars
+		rowOff[i+1] = rowOff[i] + b.Rows
+	}
+	for bi := len(s.blocks) - 1; bi >= 0; bi-- {
+		if keep[bi] {
+			continue
+		}
+		s.model.RemoveConstraints(rowOff[bi], s.blocks[bi].Rows)
+		s.model.RemoveVariables(varOff[bi], s.blocks[bi].Vars)
+		s.blocks = slices.Delete(s.blocks, bi, bi+1)
+		keep = slices.Delete(keep, bi, bi+1)
+	}
+	// Walk want, inserting the blocks the survivors do not cover.
+	varAt, rowAt, ci := 0, 0, 0
+	for _, b := range want {
+		if ci < len(s.blocks) && s.blocks[ci].Key == b.Key {
+			ci++
+		} else {
+			e.ad.SpliceBlock(s.model, p, b, varAt, rowAt)
+			s.blocks = slices.Insert(s.blocks, ci, b)
+			ci++
+		}
+		varAt += b.Vars
+		rowAt += b.Rows
+	}
+	return true
+}
+
+func blockVars(layout []Block) int {
+	n := 0
+	for _, b := range layout {
+		n += b.Vars
+	}
+	return n
+}
+
+// keyOverlap is the fraction of the larger layout whose block keys both
+// layouts share — the churn heuristic behind the rebuild-vs-splice decision.
+// For one-block-per-client layouts it equals the member overlap; pair
+// layouts churn faster (one departure takes all its pair blocks along),
+// which correctly biases them toward rebuilding.
+func keyOverlap(cur, want []Block) float64 {
+	if len(cur) == 0 || len(want) == 0 {
+		return 0
+	}
+	in := make(map[BlockKey]bool, len(cur))
+	for _, b := range cur {
+		in[b.Key] = true
+	}
+	shared := 0
+	for _, b := range want {
+		if in[b.Key] {
+			shared++
+		}
+	}
+	return float64(shared) / math.Max(float64(len(cur)), float64(len(want)))
+}

@@ -5,14 +5,13 @@ import (
 	"math"
 	"slices"
 	"sort"
-	"time"
 
 	"pop/internal/cluster"
 	"pop/internal/lp"
 )
 
-// ClusterPolicy selects the solo scheduling policy a ClusterEngine runs in
-// each sub-problem.
+// ClusterPolicy selects the scheduling policy a ClusterEngine runs in each
+// sub-problem.
 type ClusterPolicy int8
 
 const (
@@ -21,6 +20,11 @@ const (
 	MaxMinFairness ClusterPolicy = iota
 	// MinMakespan is the §4.1 makespan-minimizing policy.
 	MinMakespan
+	// SpaceSharing is max-min fairness with space sharing (§4.1, Fig 6):
+	// allocation slots exist for every pair of single-GPU jobs, so two jobs
+	// can time-share one GPU with interference-reduced throughputs. Pairs
+	// only form within a sub-problem (the paper's §5.3 cubic reduction).
+	SpaceSharing
 )
 
 func (p ClusterPolicy) String() string {
@@ -29,6 +33,8 @@ func (p ClusterPolicy) String() string {
 		return "max-min-fairness"
 	case MinMakespan:
 		return "min-makespan"
+	case SpaceSharing:
+		return "space-sharing"
 	}
 	return fmt.Sprintf("ClusterPolicy(%d)", int8(p))
 }
@@ -41,64 +47,110 @@ type clusterSubResult struct {
 	objective float64
 }
 
-// clusterSub is one sub-problem's persistent LP state: the live model and
-// the member list (in block order) it currently encodes. Between rounds the
-// model is mutated in place — blocks spliced for arrivals/departures,
-// coefficients and right-hand sides patched for data changes — so a
-// re-solve pays pivots, not construction.
-//
-// Block layout, for n members over r GPU types: variables are r allocation
-// fractions per member (block i at [i·r, (i+1)·r)) then the shared epigraph
-// t at n·r; rows are a time row and an objective row per member (block i at
-// [2i, 2i+2)) then r shared capacity rows at [2n, 2n+r).
-type clusterSub struct {
-	model *lp.Model
-	ids   []int
-	// totalZ and cap fingerprint the equal-share inputs the model's
-	// objective rows were computed against. Under MaxMinFairness a change
-	// in either rotates every member's denominator at once — a global
-	// coefficient refresh that leaves the stale basis worthless, so the
-	// sync drops it (keeping the model) rather than pay a fruitless warm
-	// repair.
+// clusterFP fingerprints the equal-share inputs a partition's fairness rows
+// were last computed against. Under the fairness policies a change in either
+// the total scale or the capacities rotates every member's denominator at
+// once — the warm-hostile refresh the adapters report through WarmHostile.
+type clusterFP struct {
 	totalZ float64
 	cap    []float64
 }
 
-// ClusterEngine incrementally maintains a POP allocation for the solo GPU
-// scheduling policies: jobs arrive, depart, and change; the engine keeps
-// one mutable LP model per sub-cluster, applies deltas in place, and
-// re-solves only the dirtied models — through the dual simplex when only
-// capacities moved, warm-started otherwise. Not safe for concurrent use.
-type ClusterEngine struct {
-	t       *tracker
+func (fp *clusterFP) stale(members []cluster.Job, sub cluster.Cluster) bool {
+	return totalScale(members) != fp.totalZ || !slices.Equal(fp.cap, sub.NumGPUs)
+}
+
+func (fp *clusterFP) update(members []cluster.Job, sub cluster.Cluster) {
+	fp.totalZ = totalScale(members)
+	fp.cap = append(fp.cap[:0], sub.NumGPUs...)
+}
+
+// clusterState is the domain state shared by the cluster adapters: the
+// resource pool, the live jobs, and the per-partition results and
+// equal-share fingerprints.
+type clusterState struct {
 	policy  ClusterPolicy
-	lpOpts  lp.Options
 	c       cluster.Cluster
 	sub     cluster.Cluster // c.Split(K)
 	haveC   bool
 	jobs    map[int]cluster.Job
-	subs    []*clusterSub
 	results []*clusterSubResult
+	fps     []clusterFP
 }
 
-// NewClusterEngine creates an engine for cluster c running the given solo
-// policy with K sub-problems.
+func (st *clusterState) member(id int) cluster.Job { return st.jobs[id] }
+
+// soloIDs extracts the member ids from a layout's single-owner blocks, in
+// block order — the member list both cluster adapters key their rows by.
+func soloIDs(layout []Block) []int {
+	ids := make([]int, 0, len(layout))
+	for _, b := range layout {
+		if b.Key.B == NoPartner {
+			ids = append(ids, b.Key.A)
+		}
+	}
+	return ids
+}
+
+func (st *clusterState) soloMembers(layout []Block) []cluster.Job {
+	members := make([]cluster.Job, 0, len(layout))
+	for _, b := range layout {
+		if b.Key.B == NoPartner {
+			members = append(members, st.jobs[b.Key.A])
+		}
+	}
+	return members
+}
+
+func (st *clusterState) membersOf(ids []int) []cluster.Job {
+	members := make([]cluster.Job, len(ids))
+	for i, id := range ids {
+		members[i] = st.jobs[id]
+	}
+	return members
+}
+
+func (st *clusterState) clear(p int) {
+	st.results[p] = &clusterSubResult{index: map[int]int{}}
+	st.fps[p] = clusterFP{}
+}
+
+// ClusterEngine incrementally maintains a POP allocation for the GPU
+// scheduling policies: jobs arrive, depart, and change; the engine keeps one
+// mutable LP model per sub-cluster, applies deltas in place, and re-solves
+// only the dirtied models — through the dual simplex when only capacities
+// moved, warm-started otherwise. The SpaceSharing policy runs the
+// pair-variable LP online: each partition's model holds a slot block per
+// solo job plus one per single-GPU job pair, spliced as membership churns.
+// Not safe for concurrent use.
+type ClusterEngine struct {
+	st  *clusterState
+	eng *engine
+}
+
+// NewClusterEngine creates an engine for cluster c running the given policy
+// with K sub-problems.
 func NewClusterEngine(c cluster.Cluster, policy ClusterPolicy, opts Options, lpOpts lp.Options) (*ClusterEngine, error) {
-	t, err := newTracker(opts)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	st := &clusterState{
+		policy:  policy,
+		jobs:    make(map[int]cluster.Job),
+		results: make([]*clusterSubResult, opts.K),
+		fps:     make([]clusterFP, opts.K),
+	}
+	var ad Adapter
+	if policy == SpaceSharing {
+		ad = &pairAdapter{st}
+	} else {
+		ad = &soloAdapter{st}
+	}
+	eng, err := newEngine(ad, opts, lpOpts)
 	if err != nil {
 		return nil, err
 	}
-	e := &ClusterEngine{
-		t:       t,
-		policy:  policy,
-		lpOpts:  lpOpts,
-		jobs:    make(map[int]cluster.Job),
-		subs:    make([]*clusterSub, opts.K),
-		results: make([]*clusterSubResult, opts.K),
-	}
-	for p := range e.subs {
-		e.subs[p] = &clusterSub{}
-	}
+	e := &ClusterEngine{st: st, eng: eng}
 	e.SetCluster(c)
 	return e, nil
 }
@@ -107,13 +159,13 @@ func NewClusterEngine(c cluster.Cluster, policy ClusterPolicy, opts Options, lpO
 // sub-problem (each holds 1/k of every GPU type); under MinMakespan it is a
 // pure rhs delta, so the re-solves ride the dual simplex.
 func (e *ClusterEngine) SetCluster(c cluster.Cluster) {
-	if e.haveC && clustersEqual(e.c, c) {
+	if e.st.haveC && clustersEqual(e.st.c, c) {
 		return
 	}
-	e.c = c
-	e.sub = c.Split(e.t.opts.K)
-	e.haveC = true
-	e.t.markAllDirty()
+	e.st.c = c
+	e.st.sub = c.Split(e.eng.t.opts.K)
+	e.st.haveC = true
+	e.eng.t.markAllDirty()
 }
 
 func clustersEqual(a, b cluster.Cluster) bool {
@@ -131,26 +183,26 @@ func clustersEqual(a, b cluster.Cluster) bool {
 // Upsert adds job j (keyed by j.ID) or applies a change to it. Unchanged
 // re-submissions are no-ops and dirty nothing.
 func (e *ClusterEngine) Upsert(j cluster.Job) {
-	if old, ok := e.jobs[j.ID]; ok {
+	if old, ok := e.st.jobs[j.ID]; ok {
 		if jobsEqual(old, j) {
 			return
 		}
-		e.jobs[j.ID] = j
-		e.t.upsert(j.ID, j.Scale)
-		e.t.touch(j.ID)
+		e.st.jobs[j.ID] = j
+		e.eng.t.upsert(j.ID, j.Scale)
+		e.eng.t.touch(j.ID)
 		return
 	}
-	e.jobs[j.ID] = j
-	e.t.upsert(j.ID, j.Scale)
+	e.st.jobs[j.ID] = j
+	e.eng.t.upsert(j.ID, j.Scale)
 }
 
 // Remove drops the job; survivors keep their sub-problems.
 func (e *ClusterEngine) Remove(id int) bool {
-	if _, ok := e.jobs[id]; !ok {
+	if _, ok := e.st.jobs[id]; !ok {
 		return false
 	}
-	delete(e.jobs, id)
-	return e.t.remove(id)
+	delete(e.st.jobs, id)
+	return e.eng.t.remove(id)
 }
 
 func jobsEqual(a, b cluster.Job) bool {
@@ -168,15 +220,15 @@ func jobsEqual(a, b cluster.Job) bool {
 
 // MarkAllDirty forces a full re-solve on the next Solve (benchmark and
 // testing hook).
-func (e *ClusterEngine) MarkAllDirty() { e.t.markAllDirty() }
+func (e *ClusterEngine) MarkAllDirty() { e.eng.t.markAllDirty() }
 
 // NumJobs reports the number of jobs currently held.
-func (e *ClusterEngine) NumJobs() int { return len(e.jobs) }
+func (e *ClusterEngine) NumJobs() int { return len(e.st.jobs) }
 
 // Jobs returns the live jobs in ascending-ID order.
 func (e *ClusterEngine) Jobs() []cluster.Job {
-	out := make([]cluster.Job, 0, len(e.jobs))
-	for _, j := range e.jobs {
+	out := make([]cluster.Job, 0, len(e.st.jobs))
+	for _, j := range e.st.jobs {
 		out = append(out, j)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
@@ -184,103 +236,183 @@ func (e *ClusterEngine) Jobs() []cluster.Job {
 }
 
 // Cluster returns the current resource pool.
-func (e *ClusterEngine) Cluster() cluster.Cluster { return e.c }
+func (e *ClusterEngine) Cluster() cluster.Cluster { return e.st.c }
 
 // Stats returns the engine's work counters.
-func (e *ClusterEngine) Stats() Stats { return e.t.stats }
+func (e *ClusterEngine) Stats() Stats { return e.eng.t.stats }
 
 // Solve re-solves every dirty sub-problem from its persistent model,
 // leaving clean ones untouched.
 func (e *ClusterEngine) Solve() error {
-	e.t.rebalance()
-	return e.t.solveDirty(func(p int, ids []int) (subReport, error) {
-		if len(ids) == 0 {
-			e.results[p] = &clusterSubResult{index: map[int]int{}}
-			e.subs[p] = &clusterSub{}
-			return subReport{}, nil
-		}
-		members := make([]cluster.Job, len(ids))
-		for i, id := range ids {
-			members[i] = e.jobs[id]
-		}
-		start := time.Now()
-		m := e.syncModel(p, ids, members)
-		warmAttempted := m.HasBasis()
-		buildNs := time.Since(start).Nanoseconds()
-
-		start = time.Now()
-		sol, err := m.SolveWithOptions(e.lpOpts)
-		solveNs := time.Since(start).Nanoseconds()
-		if err != nil {
-			return subReport{}, err
-		}
-		if sol.Status != lp.Optimal {
-			return subReport{}, fmt.Errorf("%v LP %v", e.policy, sol.Status)
-		}
-		r := e.sub.NumTypes()
-		alloc := &cluster.Allocation{
-			X:           make([][]float64, len(ids)),
-			EffThr:      make([]float64, len(ids)),
-			LPVariables: m.NumVariables(),
-		}
-		index := make(map[int]int, len(ids))
-		for i := range ids {
-			index[ids[i]] = i
-			alloc.X[i] = make([]float64, r)
-			copy(alloc.X[i], sol.X[i*r:(i+1)*r])
-			alloc.EffThr[i] = cluster.EffectiveThroughput(members[i], alloc.X[i])
-		}
-		e.results[p] = &clusterSubResult{
-			ids:       append([]int(nil), ids...),
-			index:     index,
-			alloc:     alloc,
-			objective: sol.Objective,
-		}
-		return subReport{
-			warmAttempted: warmAttempted,
-			warmStarted:   sol.WarmStarted,
-			iterations:    sol.Iterations,
-			dualPivots:    sol.DualPivots,
-			buildNs:       buildNs,
-			solveNs:       solveNs,
-		}, nil
-	})
+	e.eng.t.rebalance()
+	return e.eng.solveRound()
 }
 
-// syncModel brings partition p's persistent model in line with the current
-// member list and data, building it fresh only when there is no model yet,
-// warm starts are disabled, or membership churned beyond recognition.
-// Departed members' blocks are spliced out, arrivals' blocks appended, and
-// every data-dependent coefficient and rhs rewritten — the model's setters
-// no-op on unchanged values, so the resulting delta class (and with it the
-// dual-simplex eligibility) stays exact.
-func (e *ClusterEngine) syncModel(p int, ids []int, members []cluster.Job) *lp.Model {
-	cs := e.subs[p]
-	r := e.sub.NumTypes()
-	// Under MaxMinFairness, a shift in the equal-share inputs (total scale
-	// or capacity) rotates every member's denominator at once; the stale
-	// basis carries nothing through that, so it is dropped below — and when
-	// membership also changed, block splicing buys nothing over the cheaper
-	// fresh build.
-	globalRot := e.policy == MaxMinFairness &&
-		(totalScale(members) != cs.totalZ || !slices.Equal(cs.cap, e.sub.NumGPUs))
-	if cs.model == nil || e.t.opts.NoWarmStart || overlap(cs.ids, ids) < 0.5 ||
-		(globalRot && !slices.Equal(cs.ids, ids)) {
-		return e.rebuild(cs, ids, members)
+// Objective sums the sub-problem objectives — a checksum the equivalence
+// tests compare against a cold full solve.
+func (e *ClusterEngine) Objective() float64 {
+	total := 0.0
+	for _, r := range e.st.results {
+		if r != nil {
+			total += r.objective
+		}
 	}
-	m := cs.model
-	if !syncMemberBlocks(m, &cs.ids, ids, r, 2, func(bi int) { e.appendJobBlock(m, bi) }) {
-		return e.rebuild(cs, ids, members)
+	return total
+}
+
+// Step applies the diff between the engine's state and the given active set
+// (arrivals, changes, departures), re-solves incrementally, and returns the
+// allocation in active-set order (solo policies: X rows per job; space
+// sharing: the composed Pairs/PairX slot list). It is the bridge into round
+// loops like gavelsim's.
+func (e *ClusterEngine) Step(active []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+	e.SetCluster(c)
+	seen := make(map[int]bool, len(active))
+	for _, j := range active {
+		seen[j.ID] = true
+		e.Upsert(j)
+	}
+	var gone []int
+	for id := range e.st.jobs {
+		if !seen[id] {
+			gone = append(gone, id)
+		}
+	}
+	for _, id := range gone {
+		e.Remove(id)
+	}
+	if err := e.Solve(); err != nil {
+		return nil, err
+	}
+	if e.st.policy == SpaceSharing {
+		return e.composePairs(active)
 	}
 
-	// Full data refresh against the current members and capacities: each
-	// member's own objective row entry by entry, the shared capacity rows
-	// through the bulk setter (one pass per row, not per member).
-	n := len(ids)
+	out := &cluster.Allocation{
+		X:      make([][]float64, len(active)),
+		EffThr: make([]float64, len(active)),
+	}
+	counted := make([]bool, len(e.st.results))
+	for pos, j := range active {
+		res, i, p, err := e.resultOf(j.ID)
+		if err != nil {
+			return nil, err
+		}
+		// Copy: handing out the cached row would let a caller's in-place
+		// edits corrupt the allocation served on later clean rounds.
+		out.X[pos] = append([]float64(nil), res.alloc.X[i]...)
+		out.EffThr[pos] = res.alloc.EffThr[i]
+		if !counted[p] {
+			counted[p] = true
+			out.LPVariables += res.alloc.LPVariables
+		}
+	}
+	return out, nil
+}
+
+// resultOf locates job id's cached sub-problem result and its local index.
+func (e *ClusterEngine) resultOf(id int) (*clusterSubResult, int, int, error) {
+	p, ok := e.eng.t.partOf[id]
+	if !ok || e.st.results[p] == nil {
+		return nil, 0, 0, fmt.Errorf("online: job %d has no sub-problem result", id)
+	}
+	res := e.st.results[p]
+	i, ok := res.index[id]
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("online: job %d missing from sub-problem %d result", id, p)
+	}
+	return res, i, p, nil
+}
+
+// composePairs concatenates the per-partition pair allocations onto the
+// active set (POP's reduce step for the space-sharing policy).
+func (e *ClusterEngine) composePairs(active []cluster.Job) (*cluster.Allocation, error) {
+	out := &cluster.Allocation{EffThr: make([]float64, len(active))}
+	counted := make([]bool, len(e.st.results))
+	for pos, j := range active {
+		res, i, p, err := e.resultOf(j.ID)
+		if err != nil {
+			return nil, err
+		}
+		out.EffThr[pos] = res.alloc.EffThr[i]
+		if !counted[p] {
+			counted[p] = true
+			out.LPVariables += res.alloc.LPVariables
+			for q := range res.alloc.Pairs {
+				out.Pairs = append(out.Pairs, res.alloc.Pairs[q])
+				out.PairX = append(out.PairX, append([]float64(nil), res.alloc.PairX[q]...))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Policy adapts the engine to gavelsim's round loop: each call diffs the
+// active set against engine state and re-solves incrementally. The returned
+// function has gavelsim.Policy's signature.
+func (e *ClusterEngine) Policy() func(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+	return func(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
+		return e.Step(jobs, c)
+	}
+}
+
+// soloAdapter is the Adapter for the solo policies (MaxMinFairness,
+// MinMakespan): one block per job.
+//
+// Block layout, for n members over r GPU types: block i holds the member's
+// r allocation-fraction variables and two rows — a time row and a
+// structurally-complete objective row; the shared epigraph t trails the
+// block variables and the r shared capacity rows trail the block rows.
+type soloAdapter struct {
+	*clusterState
+}
+
+func (ad *soloAdapter) Layout(p int, ids []int) []Block {
+	r := ad.sub.NumTypes()
+	layout := make([]Block, len(ids))
+	for i, id := range ids {
+		layout[i] = Block{Key: BlockKey{id, NoPartner}, Vars: r, Rows: 2}
+	}
+	return layout
+}
+
+func (ad *soloAdapter) BuildModel(p int, layout []Block) *lp.Model {
+	members := ad.soloMembers(layout)
+	ad.fps[p].update(members, ad.sub)
+	return buildClusterModel(ad.policy, members, ad.sub)
+}
+
+// SpliceBlock inserts a member block (r variables, a time row, and a
+// structurally-complete objective row). Coefficient values — including the
+// member's column in the shared capacity rows — are left to RefreshModel,
+// which runs on every splice pass.
+func (ad *soloAdapter) SpliceBlock(m *lp.Model, p int, b Block, varAt, rowAt int) {
+	r := ad.sub.NumTypes()
+	m.InsertVariables(varAt, r, 0, 0, 1)
+	vars := make([]int, r)
+	ones := make([]float64, r)
+	zeros := make([]float64, r+1)
+	for k := 0; k < r; k++ {
+		vars[k] = varAt + k
+		ones[k] = 1
+	}
+	m.InsertConstraint(rowAt, vars, ones, lp.LE, 1, "time")
+	tv := m.NumVariables() - 1 // the shared epigraph stays the last variable
+	m.InsertConstraint(rowAt+1, append(append([]int(nil), vars...), tv), zeros, lp.GE, 0, "obj")
+}
+
+// RefreshModel rewrites every data-dependent value against the current
+// members and capacities: each member's own objective row entry by entry,
+// the shared capacity rows through the bulk setter (one pass per row, not
+// per member).
+func (ad *soloAdapter) RefreshModel(m *lp.Model, p int, layout []Block) {
+	members := ad.soloMembers(layout)
+	n := len(members)
+	r := ad.sub.NumTypes()
 	tv := n * r
-	eq := cluster.EqualShare(members, e.sub)
+	eq := cluster.EqualShare(members, ad.sub)
 	for i, j := range members {
-		coefs, tc := clusterObjCoefs(e.policy, j, eq[i])
+		coefs, tc := clusterObjCoefs(ad.policy, j, eq[i])
 		row := 2*i + 1
 		for k := 0; k < r; k++ {
 			m.SetCoeff(row, i*r+k, coefs[k])
@@ -295,26 +427,48 @@ func (e *ClusterEngine) syncModel(p int, ids []int, members []cluster.Job) *lp.M
 			scales[i] = j.Scale
 		}
 		m.SetCoeffs(2*n+k, idxs, scales)
-		m.SetRHS(2*n+k, e.sub.NumGPUs[k])
+		m.SetRHS(2*n+k, ad.sub.NumGPUs[k])
 	}
-	if globalRot {
-		m.ForgetBasis()
-	}
-	cs.fingerprint(members, e.sub)
-	return m
+	ad.fps[p].update(members, ad.sub)
 }
 
-func (e *ClusterEngine) rebuild(cs *clusterSub, ids []int, members []cluster.Job) *lp.Model {
-	cs.model = buildClusterModel(e.policy, members, e.sub)
-	cs.ids = append([]int(nil), ids...)
-	cs.fingerprint(members, e.sub)
-	return cs.model
+// WarmHostile: under MaxMinFairness a shift in the equal-share inputs
+// (total scale or capacity) rotates every member's denominator at once; the
+// stale basis carries nothing through that, so it is dropped — and when
+// membership also changed, the engine rebuilds, since splicing buys nothing
+// over the cheaper fresh build.
+func (ad *soloAdapter) WarmHostile(p int, ids []int, touched int) bool {
+	return ad.policy == MaxMinFairness && ad.fps[p].stale(ad.membersOf(ids), ad.sub)
 }
 
-func (cs *clusterSub) fingerprint(members []cluster.Job, sub cluster.Cluster) {
-	cs.totalZ = totalScale(members)
-	cs.cap = append(cs.cap[:0], sub.NumGPUs...)
+func (ad *soloAdapter) Extract(p int, layout []Block, sol *lp.Solution, nVars int) error {
+	if sol.Status != lp.Optimal {
+		return fmt.Errorf("%v LP %v", ad.policy, sol.Status)
+	}
+	ids := soloIDs(layout)
+	r := ad.sub.NumTypes()
+	alloc := &cluster.Allocation{
+		X:           make([][]float64, len(ids)),
+		EffThr:      make([]float64, len(ids)),
+		LPVariables: nVars,
+	}
+	index := make(map[int]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+		alloc.X[i] = make([]float64, r)
+		copy(alloc.X[i], sol.X[i*r:(i+1)*r])
+		alloc.EffThr[i] = cluster.EffectiveThroughput(ad.jobs[id], alloc.X[i])
+	}
+	ad.results[p] = &clusterSubResult{
+		ids:       slices.Clone(ids),
+		index:     index,
+		alloc:     alloc,
+		objective: sol.Objective,
+	}
+	return nil
 }
+
+func (ad *soloAdapter) Clear(p int) { ad.clear(p) }
 
 func totalScale(members []cluster.Job) float64 {
 	z := 0.0
@@ -322,26 +476,6 @@ func totalScale(members []cluster.Job) float64 {
 		z += j.Scale
 	}
 	return z
-}
-
-// appendJobBlock splices a new member block (r variables, a time row, and a
-// structurally-complete objective row) at block index bi. Coefficient
-// values — including the member's column in the shared capacity rows — are
-// left to the refresh pass, which runs on every sync.
-func (e *ClusterEngine) appendJobBlock(m *lp.Model, bi int) {
-	r := e.sub.NumTypes()
-	at := bi * r
-	m.InsertVariables(at, r, 0, 0, 1)
-	vars := make([]int, r)
-	ones := make([]float64, r)
-	zeros := make([]float64, r+1)
-	for k := 0; k < r; k++ {
-		vars[k] = at + k
-		ones[k] = 1
-	}
-	m.InsertConstraint(2*bi, vars, ones, lp.LE, 1, "time")
-	tv := (bi + 1) * r // t's index after the insertion
-	m.InsertConstraint(2*bi+1, append(append([]int(nil), vars...), tv), zeros, lp.GE, 0, "obj")
 }
 
 // clusterObjCoefs computes a member's objective-row coefficients: its r
@@ -367,80 +501,8 @@ func clusterObjCoefs(policy ClusterPolicy, j cluster.Job, eqShare []float64) ([]
 	return coefs, -1
 }
 
-// Objective sums the sub-problem objectives — a checksum the equivalence
-// tests compare against a cold full solve.
-func (e *ClusterEngine) Objective() float64 {
-	total := 0.0
-	for _, r := range e.results {
-		if r != nil {
-			total += r.objective
-		}
-	}
-	return total
-}
-
-// Step applies the diff between the engine's state and the given active set
-// (arrivals, changes, departures), re-solves incrementally, and returns the
-// allocation in active-set order. It is the bridge into round loops like
-// gavelsim's.
-func (e *ClusterEngine) Step(active []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
-	e.SetCluster(c)
-	seen := make(map[int]bool, len(active))
-	for _, j := range active {
-		seen[j.ID] = true
-		e.Upsert(j)
-	}
-	var gone []int
-	for id := range e.jobs {
-		if !seen[id] {
-			gone = append(gone, id)
-		}
-	}
-	for _, id := range gone {
-		e.Remove(id)
-	}
-	if err := e.Solve(); err != nil {
-		return nil, err
-	}
-
-	out := &cluster.Allocation{
-		X:      make([][]float64, len(active)),
-		EffThr: make([]float64, len(active)),
-	}
-	counted := make([]bool, len(e.results))
-	for pos, j := range active {
-		p, ok := e.t.partOf[j.ID]
-		if !ok || e.results[p] == nil {
-			return nil, fmt.Errorf("online: job %d has no sub-problem result", j.ID)
-		}
-		res := e.results[p]
-		i, ok := res.index[j.ID]
-		if !ok {
-			return nil, fmt.Errorf("online: job %d missing from sub-problem %d result", j.ID, p)
-		}
-		// Copy: handing out the cached row would let a caller's in-place
-		// edits corrupt the allocation served on later clean rounds.
-		out.X[pos] = append([]float64(nil), res.alloc.X[i]...)
-		out.EffThr[pos] = res.alloc.EffThr[i]
-		if !counted[p] {
-			counted[p] = true
-			out.LPVariables += res.alloc.LPVariables
-		}
-	}
-	return out, nil
-}
-
-// Policy adapts the engine to gavelsim's round loop: each call diffs the
-// active set against engine state and re-solves incrementally. The returned
-// function has gavelsim.Policy's signature.
-func (e *ClusterEngine) Policy() func(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
-	return func(jobs []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error) {
-		return e.Step(jobs, c)
-	}
-}
-
 // buildClusterModel assembles the solo policy epigraph LP as a mutable
-// model in the block layout documented on clusterSub. Objective rows are
+// model in the block layout documented on soloAdapter. Objective rows are
 // always structurally complete (r+1 entries, zeroed when the member is
 // degenerate) so later data refreshes patch values without fill-in. The
 // formulations match cluster.MaxMinFairness / cluster.MinMakespan (modulo

@@ -2,13 +2,18 @@
 // POP-partitioned problem alive across scheduling rounds, accepts deltas
 // (client arrive/depart, load change, resource capacity change), and
 // re-solves only the sub-problems the deltas touched, each warm-started
-// from its previous optimal basis. It is the round-loop driver behind
-// gavelsim's online policies, lb's online balancer, and cmd/popserver.
+// from its previous optimal basis. One generic engine drives all three of
+// the paper's case studies through the Adapter contract: ClusterEngine
+// (solo GPU scheduling and pair-variable space sharing), LBEngine (shard
+// balancing), and TEEngine (traffic engineering). It is the round-loop
+// driver behind gavelsim's online policies, lb's online balancer, and
+// cmd/popserver.
 //
 // # Stable partitions
 //
-// Where the batch POP adapters (cluster.SolvePOP, lb.SolvePOP) re-partition
-// clients from scratch every call, the engine repartitions minimally:
+// Where the batch POP adapters (cluster.SolvePOP, lb.SolvePOP, te.SolvePOP)
+// re-partition clients from scratch every call, the engine repartitions
+// minimally:
 //
 //   - a new client joins the sub-problem with the smallest current total
 //     load (ties: fewest members, then lowest index), and nothing else
@@ -20,60 +25,97 @@
 // These invariants mean a delta dirties exactly one sub-problem (a resource
 // capacity change dirties all of them, since every sub-problem holds 1/k of
 // each resource), so a round's work is proportional to the number of
-// sub-problems actually touched. The price is partition drift: sub-problem
-// loads slowly diverge from the balanced split a fresh partitioning would
-// produce, trading a little allocation quality for minimal churn — the same
-// trade the paper's load balancer makes (§4.3) when it minimizes shard
-// movement instead of re-placing everything.
+// sub-problems actually touched. The price is partition drift, bounded by
+// Options.Rebalance: each round at most one client moves from the most- to
+// the least-loaded sub-problem, only when that strictly narrows their
+// spread, so the spread shrinks monotonically while reassignment stays
+// minimal. Moves are deterministic, so warm and cold engines stay
+// comparable.
 //
-// # Persistent models and the re-solve contract
+// # The adapter contract
 //
-// Each sub-problem owns a persistent lp.Model: built once, then mutated in
-// place between rounds instead of being rebuilt. The model maintains its
-// standardized form incrementally and keeps the last optimal basis, so a
-// round's deltas arrive at the solver classified:
+// The generic engine owns everything domain-independent: the tracker,
+// dirty marking, one persistent lp.Model per partition, the
+// rebuild-vs-splice decision, solve timing, and Stats. A domain plugs in by
+// implementing Adapter:
 //
-//   - rhs/bound-only deltas (a capacity change under MinMakespan, a
-//     tolerance change in lb) re-solve with the dual simplex from the
-//     previous basis — a handful of pivots, no rebuild, no phase 1;
-//   - coefficient and objective deltas (load shifts, weight changes,
-//     placement drift) re-solve through the primal warm path;
-//   - membership changes splice whole client blocks out of / into the
-//     model, carrying the surviving blocks' basis statuses along, so the
-//     shape repair settles only the churned remainder;
-//   - when a delta rotates every coefficient at once (cluster max-min's
-//     equal-share denominators under scale or capacity changes), the stale
-//     basis carries nothing: the adapter drops it — and rebuilds outright
-//     if membership also changed, since splicing buys nothing then.
+//   - Layout(p, ids) declares the partition's block sequence — each Block a
+//     keyed run of Vars variables and Rows rows. Keys name the owning
+//     client (BlockKey{id, NoPartner}) or client pair (BlockKey{a, b}); one
+//     client may own many blocks, which is what lets the space-sharing LP —
+//     a slot block per job plus one per single-GPU pair — live online.
+//   - BuildModel constructs a fresh model for a layout; SpliceBlock inserts
+//     one block's structure into a live model at engine-computed positions;
+//     RefreshModel rewrites every data-dependent value afterward.
+//   - WarmHostile declares when a refresh makes the stale basis worthless;
+//     Extract caches a partition's solution; Clear empties it.
 //
-// The lp solver owns correctness: every fast path falls back (primal warm,
-// then cold) rather than trust a stale start, so warm and dual starts
-// change solve speed, never solve outcomes (Solution.WarmStarted and
-// Solution.DualPivots report which path ran).
+// Block-shape rules: a model lays out its blocks contiguously in layout
+// order — block variables first, then shared variables (an epigraph t, a
+// min-fraction t); block rows first, then shared rows (capacity rows, band
+// rows). Shared structure must keep a fixed shape across membership churn
+// (TEEngine keeps one capacity row per topology edge even when empty, so
+// the shared-row region never moves). A block's rows may reference other
+// blocks' variables — a job's fairness row spans every slot containing it —
+// because RefreshModel rewrites all data-dependent coefficients and
+// lp.Model setters no-op on unchanged values, keeping the delta class the
+// solver sees exact. Layouts must enumerate blocks so survivors keep their
+// relative order as members arrive and depart (member-order and canonical
+// pair-order enumerations do); a layout that cannot is rebuilt fresh, never
+// answered wrong.
 //
-// Adapters therefore build their LPs in a block layout: all per-client
-// variables first (a fixed-size block per client, in member order), shared
-// variables after; per-client rows first (fixed-size blocks, same order),
-// shared rows after. Engine stats split each round into model
-// build/mutation time and solver time (Stats.BuildNs / Stats.SolveNs) —
-// the mutation path exists to shrink the former.
+// Per dirty partition the engine then picks a sync path: build fresh (no
+// model yet, warm starts disabled, block-key overlap < 0.5, or a
+// warm-hostile refresh combined with a layout change), or splice departed
+// blocks out / new blocks in — the stored basis spliced in lockstep — and
+// refresh the rest in place. A re-solve therefore pays pivots, not
+// construction: rhs/bound-only deltas (capacity jitter under MinMakespan,
+// lb tolerance shifts, TE demand shifts) ride the dual simplex from the
+// previous basis; coefficient and objective deltas take the primal warm
+// path; the lp solver owns correctness, falling back primal-warm then cold,
+// so warm starts change solve speed, never solve outcomes.
 //
-// # Drift-bounded rebalancing
+// # The warm-hostility hook
 //
-// Options.Rebalance bounds the partition-load drift: each round at most
-// one client moves from the most- to the least-loaded sub-problem, and
-// only when the move strictly narrows their spread, so the spread shrinks
-// monotonically to below the lightest member of the heaviest sub-problem
-// while reassignment stays minimal. Moves are deterministic, so warm and
-// cold engines stay comparable.
+// Some refreshes leave nothing for a warm start to reuse. The adapters
+// declare them through WarmHostile(p, ids, touched): the cluster fairness
+// adapters report equal-share rotations (a total-scale or capacity shift
+// rotates every member's denominator at once), and the pair adapter also
+// reports broad per-member churn — once a quarter of a partition's members
+// move, most slot coefficients rotate with them (touched is the engine's
+// count of members whose data changed this round). On a hostile refresh the
+// engine drops the basis rather than pay a fruitless warm repair, and
+// rebuilds outright when the layout changed too. lb and TE always return
+// false: their deltas stay local. A generalized replacement — a cheap
+// reduced-cost sample against the new coefficients, decided inside lp.Model
+// for every adapter — is the natural next step (see ROADMAP).
+//
+// # Adding a fourth adapter
+//
+// Pick the client granularity (the tracker id), decide the block shape per
+// client — fixed-width like cluster (r vars, 2 rows) and lb (2m vars, m+1
+// rows), variable-width like TE (one var per candidate path), or multi-
+// block like space sharing — and put everything data-dependent behind
+// RefreshModel. Wrap the engine with the domain's delta API (Upsert /
+// Remove / Solve) the way te.go does in ~150 lines; the equivalence suites'
+// pattern (warm engine vs NoWarmStart engine, 1e-6 objective agreement over
+// randomized delta sequences) transfers unchanged and should be the first
+// test written.
 //
 // # Engines
 //
-// ClusterEngine runs the solo GPU-scheduling policies (max-min fairness,
-// minimize makespan) from §4.1; its Policy method adapts it to gavelsim's
+// ClusterEngine runs the §4.1 GPU-scheduling policies — max-min fairness
+// and minimize-makespan on solo blocks, and the space-sharing policy (Fig
+// 6) on the pair-block layout; its Policy method adapts it to gavelsim's
 // round loop. LBEngine runs the §4.3 shard balancer on the continuous
 // relaxation (the MILP's integer search cannot reuse a simplex basis; the
 // relaxation is where the paper's round-over-round latency lives); its
-// Solver method plugs into lb.RunRounds. Engines are not safe for
-// concurrent use — callers like cmd/popserver serialize rounds themselves.
+// Solver method plugs into lb.RunRounds. TEEngine runs the §4.2 path
+// formulation over a fixed topology with every edge at 1/k capacity;
+// demand-amount shifts are single rhs edits — the dual-simplex fast path —
+// while endpoint changes re-route by re-splicing the commodity's block.
+// Engine stats split each round into model build/mutation time and solver
+// time (Stats.BuildNs / Stats.SolveNs) — the mutation path exists to shrink
+// the former. Engines are not safe for concurrent use; callers like
+// cmd/popserver serialize rounds themselves.
 package online

@@ -3,10 +3,8 @@ package online
 import (
 	"fmt"
 	"math"
-	"slices"
 
 	"pop/internal/core"
-	"pop/internal/lp"
 )
 
 // Options configure an incremental engine.
@@ -76,10 +74,10 @@ func (p *partition) markTouched(id int) {
 	p.touched[id] = struct{}{}
 }
 
-// tracker is the domain-independent heart of an engine: stable partitions,
+// tracker keeps the partition bookkeeping of an engine: stable partitions,
 // dirty marking, drift-bounded rebalancing, and the dirty-only solve loop.
-// LP state lives with the adapters, which keep one persistent lp.Model per
-// partition and mutate it in place between solves.
+// LP state lives with the generic engine (adapter.go), which keeps one
+// persistent lp.Model per partition and mutates it in place between solves.
 type tracker struct {
 	opts   Options
 	parts  []*partition
@@ -226,39 +224,6 @@ func (t *tracker) rebalance() {
 	t.stats.Rebalances++
 }
 
-// syncMemberBlocks splices a block-structured model's leading member blocks
-// toward the target id list: departed members' blocks (varsPer variables
-// and rowsPer rows each, at block index position) are removed
-// back-to-front, then arrivals are appended through appendBlock, with cur
-// updated in lockstep. It reports false when the surviving order no longer
-// forms a prefix of ids — the tracker's append-only contract was broken
-// and the caller should rebuild fresh.
-func syncMemberBlocks(m *lp.Model, cur *[]int, ids []int, varsPer, rowsPer int, appendBlock func(bi int)) bool {
-	if slices.Equal(*cur, ids) {
-		return true
-	}
-	want := make(map[int]bool, len(ids))
-	for _, id := range ids {
-		want[id] = true
-	}
-	for bi := len(*cur) - 1; bi >= 0; bi-- {
-		if want[(*cur)[bi]] {
-			continue
-		}
-		m.RemoveConstraints(bi*rowsPer, rowsPer)
-		m.RemoveVariables(bi*varsPer, varsPer)
-		*cur = append((*cur)[:bi], (*cur)[bi+1:]...)
-	}
-	if len(*cur) > len(ids) || !slices.Equal(*cur, ids[:len(*cur)]) {
-		return false
-	}
-	for _, id := range ids[len(*cur):] {
-		appendBlock(len(*cur))
-		*cur = append(*cur, id)
-	}
-	return true
-}
-
 // subReport is what an adapter's per-partition solve returns to the loop.
 type subReport struct {
 	warmAttempted bool
@@ -274,8 +239,9 @@ type subReport struct {
 // tracker.rebalance themselves before this, so partition-local state (like
 // lb's placement anchors) can be refreshed between the move and the solve.
 // Adapters own the keep-or-drop decision for each model's stale basis
-// (e.g. the cluster adapter drops it under equal-share rotations). Clean
-// partitions are skipped entirely — their cached results stand.
+// through WarmHostile (e.g. the cluster fairness adapters drop it under
+// equal-share rotations). Clean partitions are skipped entirely — their
+// cached results stand.
 func (t *tracker) solveDirty(solve func(p int, ids []int) (subReport, error)) error {
 	t.stats.Rounds++
 	var dirty []int
@@ -318,22 +284,4 @@ func (t *tracker) solveDirty(solve func(p int, ids []int) (subReport, error)) er
 		t.stats.SolveNs += reports[i].solveNs
 	}
 	return nil
-}
-
-// overlap is the fraction of the larger set shared by both id lists.
-func overlap(a, b []int) float64 {
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	in := make(map[int]bool, len(a))
-	for _, id := range a {
-		in[id] = true
-	}
-	shared := 0
-	for _, id := range b {
-		if in[id] {
-			shared++
-		}
-	}
-	return float64(shared) / math.Max(float64(len(a)), float64(len(b)))
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"time"
 
 	"pop/internal/core"
 	"pop/internal/lb"
@@ -23,17 +22,17 @@ type lbSubResult struct {
 	optimal   bool
 }
 
-// lbSub is one sub-problem's persistent LP state — the live relaxation
-// model and the member list it encodes.
-//
-// Block layout, for n shards over mS partition servers: variables are mS
-// serving fractions then mS placement indicators per shard (block i at
-// [i·2mS, (i+1)·2mS)); rows are mS linking rows then the coverage row per
-// shard (block i at [i·(mS+1), (i+1)·(mS+1))), followed by the shared
-// per-server load-band and memory rows (3 per server).
-type lbSub struct {
-	model *lp.Model
-	ids   []int
+// lbState is the domain state behind the shard-balancing adapter.
+type lbState struct {
+	servers []lb.Server
+	groups  [][]int // partition -> indices into servers
+	shards  map[int]lb.Shard
+	// placed[id] is the shard's current placement over its partition's
+	// servers (local order) — the cost anchor of the movement objective.
+	placed  map[int][]bool
+	results []*lbSubResult
+	tolFrac float64
+	haveTol bool
 }
 
 // LBEngine incrementally maintains a POP shard-balancing assignment on the
@@ -44,52 +43,39 @@ type lbSub struct {
 // Servers are split across sub-problems once, at the first Step. Not safe
 // for concurrent use.
 type LBEngine struct {
-	t       *tracker
-	lpOpts  lp.Options
-	servers []lb.Server
-	groups  [][]int // partition -> indices into servers
-	shards  map[int]lb.Shard
-	// placed[id] is the shard's current placement over its partition's
-	// servers (local order) — the cost anchor of the movement objective.
-	placed  map[int][]bool
-	subs    []*lbSub
-	results []*lbSubResult
-	tolFrac float64
-	haveTol bool
+	st  *lbState
+	eng *engine
 }
 
 // NewLBEngine creates a shard-balancing engine with K sub-problems.
 func NewLBEngine(opts Options, lpOpts lp.Options) (*LBEngine, error) {
-	t, err := newTracker(opts)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	st := &lbState{
+		shards:  make(map[int]lb.Shard),
+		placed:  make(map[int][]bool),
+		results: make([]*lbSubResult, opts.K),
+	}
+	eng, err := newEngine(&lbAdapter{st}, opts, lpOpts)
 	if err != nil {
 		return nil, err
 	}
-	e := &LBEngine{
-		t:       t,
-		lpOpts:  lpOpts,
-		shards:  make(map[int]lb.Shard),
-		placed:  make(map[int][]bool),
-		subs:    make([]*lbSub, opts.K),
-		results: make([]*lbSubResult, opts.K),
-	}
-	for p := range e.subs {
-		e.subs[p] = &lbSub{}
-	}
-	return e, nil
+	return &LBEngine{st: st, eng: eng}, nil
 }
 
 // Stats returns the engine's work counters.
-func (e *LBEngine) Stats() Stats { return e.t.stats }
+func (e *LBEngine) Stats() Stats { return e.eng.t.stats }
 
 // MarkAllDirty forces a full re-solve on the next Step (benchmark and
 // testing hook).
-func (e *LBEngine) MarkAllDirty() { e.t.markAllDirty() }
+func (e *LBEngine) MarkAllDirty() { e.eng.t.markAllDirty() }
 
 // Objective sums the sub-problem objectives (relaxed moved bytes) — the
 // checksum the equivalence tests compare against a cold full solve.
 func (e *LBEngine) Objective() float64 {
 	total := 0.0
-	for _, r := range e.results {
+	for _, r := range e.st.results {
 		if r != nil {
 			total += r.objective
 		}
@@ -101,19 +87,17 @@ func (e *LBEngine) Objective() float64 {
 // every sub-problem and invalidates the persistent models (the per-server
 // block shape may have changed).
 func (e *LBEngine) syncServers(servers []lb.Server) error {
-	k := e.t.opts.K
+	k := e.eng.t.opts.K
 	if len(servers) < k {
 		return fmt.Errorf("online: %d servers cannot back %d sub-problems", len(servers), k)
 	}
-	if slices.Equal(e.servers, servers) {
+	if slices.Equal(e.st.servers, servers) {
 		return nil
 	}
-	e.servers = append([]lb.Server(nil), servers...)
-	e.groups = core.Partition(len(servers), k, core.RoundRobin, 0, nil)
-	for p := range e.subs {
-		e.subs[p] = &lbSub{}
-	}
-	e.t.markAllDirty()
+	e.st.servers = append([]lb.Server(nil), servers...)
+	e.st.groups = core.Partition(len(servers), k, core.RoundRobin, 0, nil)
+	e.eng.invalidateModels()
+	e.eng.t.markAllDirty()
 	return nil
 }
 
@@ -129,12 +113,13 @@ func (e *LBEngine) Step(inst *lb.Instance) (*lb.Assignment, error) {
 	if err := e.syncServers(inst.Servers); err != nil {
 		return nil, err
 	}
-	if !e.haveTol || e.tolFrac != inst.TolFrac {
-		if e.haveTol {
-			e.t.markAllDirty()
+	t := e.eng.t
+	if !e.st.haveTol || e.st.tolFrac != inst.TolFrac {
+		if e.st.haveTol {
+			t.markAllDirty()
 		}
-		e.tolFrac = inst.TolFrac
-		e.haveTol = true
+		e.st.tolFrac = inst.TolFrac
+		e.st.haveTol = true
 	}
 
 	// Shard arrivals and changes.
@@ -143,42 +128,42 @@ func (e *LBEngine) Step(inst *lb.Instance) (*lb.Assignment, error) {
 	for row, s := range inst.Shards {
 		seen[s.ID] = true
 		rowOf[s.ID] = row
-		old, ok := e.shards[s.ID]
-		e.shards[s.ID] = s
-		p := e.t.upsert(s.ID, s.Load)
+		old, ok := e.st.shards[s.ID]
+		e.st.shards[s.ID] = s
+		p := t.upsert(s.ID, s.Load)
 		if ok && (old.Load != s.Load || old.Mem != s.Mem) {
-			e.t.touch(s.ID)
+			t.touch(s.ID)
 		}
 		// Placement drift dirties too: it anchors the movement costs.
-		local := localPlacement(inst.Placement[row], e.groups[p])
-		if ok && !slices.Equal(e.placed[s.ID], local) {
-			e.t.touch(s.ID)
+		local := localPlacement(inst.Placement[row], e.st.groups[p])
+		if ok && !slices.Equal(e.st.placed[s.ID], local) {
+			t.touch(s.ID)
 		}
-		e.placed[s.ID] = local
+		e.st.placed[s.ID] = local
 	}
 	// Departures.
 	var gone []int
-	for id := range e.shards {
+	for id := range e.st.shards {
 		if !seen[id] {
 			gone = append(gone, id)
 		}
 	}
 	for _, id := range gone {
-		delete(e.shards, id)
-		delete(e.placed, id)
-		e.t.remove(id)
+		delete(e.st.shards, id)
+		delete(e.st.placed, id)
+		t.remove(id)
 	}
 
 	// A rebalance move changes a shard's partition, and with it the local
 	// coordinates of its placement anchor; move first, then refresh the
 	// anchors so the dirtied sub-problems solve against consistent costs.
-	if e.t.opts.Rebalance {
-		e.t.rebalance()
+	if t.opts.Rebalance {
+		t.rebalance()
 		for id, row := range rowOf {
-			e.placed[id] = localPlacement(inst.Placement[row], e.groups[e.t.partOf[id]])
+			e.st.placed[id] = localPlacement(inst.Placement[row], e.st.groups[t.partOf[id]])
 		}
 	}
-	if err := e.solve(); err != nil {
+	if err := e.eng.solveRound(); err != nil {
 		return nil, err
 	}
 	return e.compose(inst, rowOf)
@@ -197,106 +182,74 @@ func localPlacement(full []bool, group []int) []bool {
 	return out
 }
 
-// solve re-solves the dirty sub-problems on the relaxed §4.3 formulation,
-// falling back to the greedy when a sub-problem's band is infeasible.
-func (e *LBEngine) solve() error {
-	return e.t.solveDirty(func(p int, ids []int) (subReport, error) {
-		group := e.groups[p]
-		mS := len(group)
-		if len(ids) == 0 {
-			e.results[p] = &lbSubResult{index: map[int]int{}, optimal: true}
-			e.subs[p] = &lbSub{}
-			return subReport{}, nil
-		}
-		members := make([]lb.Shard, len(ids))
-		placement := make([][]bool, len(ids))
-		for i, id := range ids {
-			members[i] = e.shards[id]
-			placement[i] = e.placed[id]
-		}
-
-		start := time.Now()
-		m := e.syncLBModel(p, ids, members, placement)
-		warmAttempted := m.HasBasis()
-		buildNs := time.Since(start).Nanoseconds()
-
-		start = time.Now()
-		sol, err := m.SolveWithOptions(e.lpOpts)
-		solveNs := time.Since(start).Nanoseconds()
-		if err != nil {
-			return subReport{}, err
-		}
-
-		res := &lbSubResult{
-			ids:       append([]int(nil), ids...),
-			index:     make(map[int]int, len(ids)),
-			frac:      make([][]float64, len(ids)),
-			placed:    make([][]bool, len(ids)),
-			variables: m.NumVariables(),
-		}
-		for i, id := range ids {
-			res.index[id] = i
-		}
-		if sol.Status != lp.Optimal {
-			// Band infeasible in this sub-problem: greedy best effort, like
-			// the batch solvers do.
-			g := lb.SolveGreedy(e.subInstance(members, placement, p))
-			res.frac, res.placed = g.Frac, g.Placed
-			res.objective = g.MovedBytes
-			e.results[p] = res
-			return subReport{warmAttempted: warmAttempted, buildNs: buildNs, solveNs: solveNs}, nil
-		}
-		for i := range ids {
-			res.frac[i] = make([]float64, mS)
-			res.placed[i] = make([]bool, mS)
-			base := i * 2 * mS
-			for s := 0; s < mS; s++ {
-				res.frac[i][s] = sol.X[base+s]
-				res.placed[i][s] = sol.X[base+s] > 1e-6
-			}
-		}
-		res.objective = sol.Objective
-		res.optimal = true
-		e.results[p] = res
-		return subReport{
-			warmAttempted: warmAttempted,
-			warmStarted:   sol.WarmStarted,
-			iterations:    sol.Iterations,
-			dualPivots:    sol.DualPivots,
-			buildNs:       buildNs,
-			solveNs:       solveNs,
-		}, nil
-	})
+// lbAdapter is the Adapter for the relaxed §4.3 shard balancer: one block
+// per shard.
+//
+// Block layout, for n shards over mS partition servers: block i holds the
+// shard's mS serving fractions then its mS placement indicators, and its mS
+// linking rows then its coverage row; the shared per-server load-band and
+// memory rows (3 per server) trail the block rows. There are no shared
+// variables.
+type lbAdapter struct {
+	*lbState
 }
 
-// syncLBModel brings partition p's persistent relaxation model in line with
-// the current members, placements, loads, and tolerance. Structure is
-// spliced for membership changes; every data-dependent value is rewritten
-// through setters that no-op on unchanged values, so a tolerance-only round
-// arrives at the solver as a pure rhs delta (dual simplex) and a
-// placement-only round as a pure objective delta.
-func (e *LBEngine) syncLBModel(p int, ids []int, members []lb.Shard, placement [][]bool) *lp.Model {
-	ls := e.subs[p]
-	group := e.groups[p]
-	mS := len(group)
-	if ls.model == nil || e.t.opts.NoWarmStart || overlap(ls.ids, ids) < 0.5 {
-		return e.rebuildLB(ls, ids, members, placement, p)
+func (ad *lbAdapter) Layout(p int, ids []int) []Block {
+	mS := len(ad.groups[p])
+	layout := make([]Block, len(ids))
+	for i, id := range ids {
+		layout[i] = Block{Key: BlockKey{id, NoPartner}, Vars: 2 * mS, Rows: mS + 1}
 	}
-	m := ls.model
-	if !syncMemberBlocks(m, &ls.ids, ids, 2*mS, mS+1, func(bi int) { appendShardBlock(m, bi, mS) }) {
-		return e.rebuildLB(ls, ids, members, placement, p)
-	}
+	return layout
+}
 
-	// Full data refresh: movement costs per member, the shared band and
-	// memory rows through the bulk setter (one pass per row, not per
-	// member).
-	n := len(ids)
+func (ad *lbAdapter) memberData(layout []Block) ([]lb.Shard, [][]bool) {
+	members := make([]lb.Shard, len(layout))
+	placement := make([][]bool, len(layout))
+	for i, b := range layout {
+		members[i] = ad.shards[b.Key.A]
+		placement[i] = ad.placed[b.Key.A]
+	}
+	return members, placement
+}
+
+func (ad *lbAdapter) BuildModel(p int, layout []Block) *lp.Model {
+	members, placement := ad.memberData(layout)
+	return buildLBModel(members, placement, ad.subServers(p), ad.tolFrac)
+}
+
+// SpliceBlock inserts a shard block: mS serving fractions, mS placement
+// indicators, the linking rows, and the coverage row. The shard's columns in
+// the shared band/memory rows and its movement costs are left to
+// RefreshModel.
+func (ad *lbAdapter) SpliceBlock(m *lp.Model, p int, b Block, varAt, rowAt int) {
+	mS := len(ad.groups[p])
+	m.InsertVariables(varAt, mS, 0, 0, 1)    // serving fractions
+	m.InsertVariables(varAt+mS, mS, 0, 0, 1) // placement indicators
+	aIdxs := make([]int, mS)
+	ones := make([]float64, mS)
+	for j := 0; j < mS; j++ {
+		m.InsertConstraint(rowAt+j, []int{varAt + j, varAt + mS + j}, []float64{1, -1}, lp.LE, 0, "link")
+		aIdxs[j] = varAt + j
+		ones[j] = 1
+	}
+	m.InsertConstraint(rowAt+mS, aIdxs, ones, lp.EQ, 1, "cover")
+}
+
+// RefreshModel rewrites the data-dependent values: movement costs per
+// member, the shared band and memory rows through the bulk setter (one pass
+// per row, not per member).
+func (ad *lbAdapter) RefreshModel(m *lp.Model, p int, layout []Block) {
+	members, placement := ad.memberData(layout)
+	group := ad.groups[p]
+	mS := len(group)
+	n := len(members)
 	total := 0.0
 	for _, s := range members {
 		total += s.Load
 	}
 	L := total / float64(mS)
-	eps := e.tolFrac * L
+	eps := ad.tolFrac * L
 	sr := n * (mS + 1) // first shared row
 	aVar := func(i, j int) int { return i*2*mS + j }
 	mVar := func(i, j int) int { return i*2*mS + mS + j }
@@ -325,52 +278,71 @@ func (e *LBEngine) syncLBModel(p int, ids []int, members []lb.Shard, placement [
 		m.SetCoeffs(sr+3*j+2, mIdx, mems)  // mem
 		m.SetRHS(sr+3*j, L+eps)
 		m.SetRHS(sr+3*j+1, L-eps)
-		m.SetRHS(sr+3*j+2, e.servers[group[j]].MemCap)
+		m.SetRHS(sr+3*j+2, ad.servers[group[j]].MemCap)
 	}
-	return m
 }
 
-func (e *LBEngine) rebuildLB(ls *lbSub, ids []int, members []lb.Shard, placement [][]bool, p int) *lp.Model {
-	ls.model = buildLBModel(members, placement, e.subServers(p), e.tolFrac)
-	ls.ids = append([]int(nil), ids...)
-	return ls.model
-}
+// WarmHostile: lb refreshes are always local (loads, costs, tolerances), so
+// the stale basis stays worth keeping.
+func (ad *lbAdapter) WarmHostile(p int, ids []int, touched int) bool { return false }
 
-// appendShardBlock splices a new shard block at block index bi: mS serving
-// fractions, mS placement indicators, the linking rows, and the coverage
-// row. The shard's columns in the shared band/memory rows and its movement
-// costs are left to the refresh pass.
-func appendShardBlock(m *lp.Model, bi, mS int) {
-	at := bi * 2 * mS
-	m.InsertVariables(at, mS, 0, 0, 1)    // serving fractions
-	m.InsertVariables(at+mS, mS, 0, 0, 1) // placement indicators
-	rowAt := bi * (mS + 1)
-	aIdxs := make([]int, mS)
-	ones := make([]float64, mS)
-	for j := 0; j < mS; j++ {
-		m.InsertConstraint(rowAt+j, []int{at + j, at + mS + j}, []float64{1, -1}, lp.LE, 0, "link")
-		aIdxs[j] = at + j
-		ones[j] = 1
+func (ad *lbAdapter) Extract(p int, layout []Block, sol *lp.Solution, nVars int) error {
+	mS := len(ad.groups[p])
+	ids := soloIDs(layout)
+	res := &lbSubResult{
+		ids:       slices.Clone(ids),
+		index:     make(map[int]int, len(ids)),
+		frac:      make([][]float64, len(ids)),
+		placed:    make([][]bool, len(ids)),
+		variables: nVars,
 	}
-	m.InsertConstraint(rowAt+mS, aIdxs, ones, lp.EQ, 1, "cover")
+	for i, id := range ids {
+		res.index[id] = i
+	}
+	if sol.Status != lp.Optimal {
+		// Band infeasible in this sub-problem: greedy best effort, like the
+		// batch solvers do.
+		members, placement := ad.memberData(layout)
+		g := lb.SolveGreedy(ad.subInstance(members, placement, p))
+		res.frac, res.placed = g.Frac, g.Placed
+		res.objective = g.MovedBytes
+		ad.results[p] = res
+		return nil
+	}
+	for i := range ids {
+		res.frac[i] = make([]float64, mS)
+		res.placed[i] = make([]bool, mS)
+		base := i * 2 * mS
+		for s := 0; s < mS; s++ {
+			res.frac[i][s] = sol.X[base+s]
+			res.placed[i][s] = sol.X[base+s] > 1e-6
+		}
+	}
+	res.objective = sol.Objective
+	res.optimal = true
+	ad.results[p] = res
+	return nil
 }
 
-func (e *LBEngine) subServers(p int) []lb.Server {
-	out := make([]lb.Server, len(e.groups[p]))
-	for li, j := range e.groups[p] {
-		out[li] = e.servers[j]
+func (ad *lbAdapter) Clear(p int) {
+	ad.results[p] = &lbSubResult{index: map[int]int{}, optimal: true}
+}
+
+func (st *lbState) subServers(p int) []lb.Server {
+	out := make([]lb.Server, len(st.groups[p]))
+	for li, j := range st.groups[p] {
+		out[li] = st.servers[j]
 	}
 	return out
 }
 
-func (e *LBEngine) subInstance(members []lb.Shard, placement [][]bool, p int) *lb.Instance {
-	sub := &lb.Instance{
+func (st *lbState) subInstance(members []lb.Shard, placement [][]bool, p int) *lb.Instance {
+	return &lb.Instance{
 		Shards:    members,
-		Servers:   e.subServers(p),
-		TolFrac:   e.tolFrac,
+		Servers:   st.subServers(p),
+		TolFrac:   st.tolFrac,
 		Placement: placement,
 	}
-	return sub
 }
 
 // compose stitches the per-partition local assignments back onto the
@@ -387,7 +359,7 @@ func (e *LBEngine) compose(inst *lb.Instance, rowOf map[int]int) (*lb.Assignment
 		out.Frac[i] = make([]float64, m)
 		out.Placed[i] = make([]bool, m)
 	}
-	for p, res := range e.results {
+	for p, res := range e.st.results {
 		if res == nil {
 			continue
 		}
@@ -398,7 +370,7 @@ func (e *LBEngine) compose(inst *lb.Instance, rowOf map[int]int) (*lb.Assignment
 			if !ok {
 				return nil, fmt.Errorf("online: stale shard %d in sub-problem %d", id, p)
 			}
-			for ls, j := range e.groups[p] {
+			for ls, j := range e.st.groups[p] {
 				out.Frac[row][j] = res.frac[li][ls]
 				out.Placed[row][j] = res.placed[li][ls]
 			}
@@ -427,9 +399,9 @@ func (e *LBEngine) compose(inst *lb.Instance, rowOf map[int]int) (*lb.Assignment
 }
 
 // buildLBModel assembles the relaxed §4.3 LP as a mutable model in the
-// block layout documented on lbSub. Per shard: mS serving fractions then mS
-// placement indicators (variables), mS linking rows then the coverage row;
-// shared per-server band and memory rows trail.
+// block layout documented on lbAdapter. Per shard: mS serving fractions then
+// mS placement indicators (variables), mS linking rows then the coverage
+// row; shared per-server band and memory rows trail.
 func buildLBModel(members []lb.Shard, placement [][]bool, servers []lb.Server, tolFrac float64) *lp.Model {
 	n, mS := len(members), len(servers)
 	total := 0.0

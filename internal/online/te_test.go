@@ -1,0 +1,248 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pop/internal/lp"
+	"pop/internal/te"
+	"pop/internal/tm"
+	"pop/internal/topo"
+)
+
+// driveTEDeltas applies one random round of deltas to every engine
+// identically: demand-amount jitter (the rhs fast path), re-routes
+// (endpoint changes, which must resplice the block even when the new path
+// set has the old one's size), arrivals, and departures. The topology
+// never changes — TE re-plans traffic, not fiber.
+func driveTEDeltas(rng *rand.Rand, engines []*TEEngine, live map[int]tm.Demand, nNodes int, nextID *int) {
+	ops := 1 + rng.Intn(6)
+	for o := 0; o < ops; o++ {
+		switch {
+		case len(live) > 0 && rng.Float64() < 0.15:
+			id := anyDemandKey(rng, live)
+			d := live[id]
+			d.Src, d.Dst = rng.Intn(nNodes), rng.Intn(nNodes)
+			live[id] = d
+			for _, e := range engines {
+				e.Upsert(id, d)
+			}
+		case len(live) == 0 || rng.Float64() < 0.25:
+			d := tm.Demand{Src: rng.Intn(nNodes), Dst: rng.Intn(nNodes), Amount: 1 + 9*rng.Float64()}
+			id := *nextID
+			*nextID++
+			live[id] = d
+			for _, e := range engines {
+				e.Upsert(id, d)
+			}
+		case rng.Float64() < 0.2:
+			id := anyDemandKey(rng, live)
+			delete(live, id)
+			for _, e := range engines {
+				e.Remove(id)
+			}
+		default:
+			id := anyDemandKey(rng, live)
+			d := live[id]
+			d.Amount *= math.Exp(rng.NormFloat64() * 0.3)
+			live[id] = d
+			for _, e := range engines {
+				e.Upsert(id, d)
+			}
+		}
+	}
+}
+
+func anyDemandKey(rng *rand.Rand, m map[int]tm.Demand) int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys[rng.Intn(len(keys))]
+}
+
+// TestTEEngineMatchesColdFullSolve is the acceptance-criterion test: across
+// randomized demand-churn sequences over a stable topology, the incremental
+// warm-started TE engine must match a cold full solve (same partitions, no
+// warm start, all sub-problems re-solved) to 1e-6 on the objective, every
+// round — and the demand-only rounds must actually engage the dual simplex.
+func TestTEEngineMatchesColdFullSolve(t *testing.T) {
+	sequences := 20
+	rounds := 4
+	if testing.Short() {
+		sequences = 6
+	}
+	tp := topo.GenerateScaled("Deltacom", 0.3)
+	nNodes := tp.G.N
+	totalWarmHits, totalDualPivots := 0, 0
+	for seq := 0; seq < sequences; seq++ {
+		rng := rand.New(rand.NewSource(int64(4000 + seq)))
+		warm, err := NewTEEngine(tp, te.MaxTotalFlow, 4, Options{K: 4}, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewTEEngine(tp, te.MaxTotalFlow, 4, Options{K: 4, NoWarmStart: true}, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[int]tm.Demand{}
+		nextID := 0
+		for b := 0; b < 32; b++ {
+			d := tm.Demand{Src: rng.Intn(nNodes), Dst: rng.Intn(nNodes), Amount: 1 + 9*rng.Float64()}
+			live[nextID] = d
+			warm.Upsert(nextID, d)
+			cold.Upsert(nextID, d)
+			nextID++
+		}
+		for round := 0; round < rounds; round++ {
+			driveTEDeltas(rng, []*TEEngine{warm, cold}, live, nNodes, &nextID)
+			if err := warm.Solve(); err != nil {
+				t.Fatalf("seq %d round %d warm: %v", seq, round, err)
+			}
+			cold.MarkAllDirty()
+			if err := cold.Solve(); err != nil {
+				t.Fatalf("seq %d round %d cold: %v", seq, round, err)
+			}
+			if w, cobj := warm.Objective(), cold.Objective(); !approxEq(w, cobj, 1e-6) {
+				t.Fatalf("seq %d round %d: warm objective %.12g != cold %.12g", seq, round, w, cobj)
+			}
+		}
+		totalWarmHits += warm.Stats().WarmHits
+		totalDualPivots += warm.Stats().DualPivots
+	}
+	if totalWarmHits == 0 {
+		t.Fatal("TE warm engine never actually warm-started; the incremental path is dead")
+	}
+	if totalDualPivots == 0 {
+		t.Fatal("demand-only churn never engaged the dual simplex; rhs deltas are being misclassified")
+	}
+}
+
+// TestTEEngineConcurrentFlowMatchesCold runs the same churn under the
+// MaxConcurrentFlow objective, whose demand changes also touch the fraction
+// rows' t coefficients (the primal-warm path, not the dual one).
+func TestTEEngineConcurrentFlowMatchesCold(t *testing.T) {
+	sequences := 6
+	if testing.Short() {
+		sequences = 3
+	}
+	tp := topo.GenerateScaled("Deltacom", 0.3)
+	nNodes := tp.G.N
+	for seq := 0; seq < sequences; seq++ {
+		rng := rand.New(rand.NewSource(int64(5000 + seq)))
+		warm, err := NewTEEngine(tp, te.MaxConcurrentFlow, 4, Options{K: 3}, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewTEEngine(tp, te.MaxConcurrentFlow, 4, Options{K: 3, NoWarmStart: true}, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[int]tm.Demand{}
+		nextID := 0
+		for b := 0; b < 20; b++ {
+			d := tm.Demand{Src: rng.Intn(nNodes), Dst: rng.Intn(nNodes), Amount: 1 + 4*rng.Float64()}
+			live[nextID] = d
+			warm.Upsert(nextID, d)
+			cold.Upsert(nextID, d)
+			nextID++
+		}
+		for round := 0; round < 3; round++ {
+			driveTEDeltas(rng, []*TEEngine{warm, cold}, live, nNodes, &nextID)
+			if err := warm.Solve(); err != nil {
+				t.Fatalf("seq %d round %d warm: %v", seq, round, err)
+			}
+			cold.MarkAllDirty()
+			if err := cold.Solve(); err != nil {
+				t.Fatalf("seq %d round %d cold: %v", seq, round, err)
+			}
+			if w, cobj := warm.Objective(), cold.Objective(); !approxEq(w, cobj, 1e-6) {
+				t.Fatalf("seq %d round %d: warm objective %.12g != cold %.12g", seq, round, w, cobj)
+			}
+		}
+	}
+}
+
+// TestTEEngineFeasibleAndTracked: the composed edge flows respect full
+// capacities (each sub-problem ran at 1/k), per-commodity flows respect
+// demands, dirty tracking skips clean sub-problems, and re-routing a
+// commodity (endpoint change) re-splices without losing equivalence.
+func TestTEEngineFeasibleAndTracked(t *testing.T) {
+	tp := topo.GenerateScaled("Deltacom", 0.3)
+	nNodes := tp.G.N
+	rng := rand.New(rand.NewSource(77))
+	e, err := NewTEEngine(tp, te.MaxTotalFlow, 4, Options{K: 4, Parallel: true}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int]tm.Demand{}
+	for id := 0; id < 40; id++ {
+		d := tm.Demand{Src: rng.Intn(nNodes), Dst: rng.Intn(nNodes), Amount: 1 + 9*rng.Float64()}
+		live[id] = d
+		e.Upsert(id, d)
+	}
+	if err := e.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	base := e.Stats()
+	if base.SubSolves != 4 {
+		t.Fatalf("first round solved %d sub-problems, want 4", base.SubSolves)
+	}
+	checkTEFeasible(t, e, tp, live)
+
+	// One amount change dirties exactly one sub-problem.
+	d := live[7]
+	d.Amount *= 2
+	live[7] = d
+	e.Upsert(7, d)
+	if err := e.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if got := s.SubSolves - base.SubSolves; got != 1 {
+		t.Fatalf("after one-demand delta, %d sub-problems re-solved, want 1", got)
+	}
+
+	// Idle round: nothing solves.
+	if err := e.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().SubSolves - s.SubSolves; got != 0 {
+		t.Fatalf("idle round re-solved %d sub-problems", got)
+	}
+
+	// Re-route: an endpoint change replaces the commodity's block.
+	d = live[3]
+	d.Src, d.Dst = d.Dst, d.Src
+	live[3] = d
+	e.Upsert(3, d)
+	if err := e.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	checkTEFeasible(t, e, tp, live)
+}
+
+func checkTEFeasible(t *testing.T, e *TEEngine, tp *topo.Topology, live map[int]tm.Demand) {
+	t.Helper()
+	ef := e.EdgeFlows()
+	for eid, edge := range tp.G.Edges {
+		if ef[eid] > edge.Capacity+1e-6*(1+edge.Capacity) {
+			t.Fatalf("edge %d over capacity: %g > %g", eid, ef[eid], edge.Capacity)
+		}
+	}
+	for id, d := range live {
+		f := e.Flow(id)
+		if f > d.Amount+1e-6*(1+d.Amount) {
+			t.Fatalf("demand %d over-served: %g > %g", id, f, d.Amount)
+		}
+		if f < -1e-9 {
+			t.Fatalf("demand %d negative flow %g", id, f)
+		}
+	}
+}
