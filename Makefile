@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint fmt-check bench-lp bench-online bench ci
+.PHONY: all build test test-short test-race vet lint fmt-check bench-lp bench-online bench-milp bench ci
 
 all: build
 
@@ -42,6 +42,12 @@ bench-lp:
 # round sequences).
 bench-online:
 	$(GO) run ./cmd/onlinebench -reps 3 -o BENCH_online.json
+
+# bench-milp regenerates BENCH_milp.json, the exact-MILP perf trajectory
+# (persistent-model branch and bound vs the cold-per-node baseline on
+# lb-shaped instances; the headline is the LP pivot ratio, held at ≥2x).
+bench-milp:
+	$(GO) run ./cmd/milpbench -reps 3 -o BENCH_milp.json
 
 # bench runs the paper-evaluation benchmark suite at Small scale.
 bench:

@@ -1,0 +1,193 @@
+// Command milpbench measures the persistent-model branch and bound against
+// the cold-per-node baseline on lb-shaped MILP instances (the §4.3
+// load-balancing formulation, the MILP whose exponential solve time
+// motivates POP). For each instance size it solves the same problem twice —
+// warm (per-node dual-simplex re-solves from parent basis snapshots over
+// one persistent lp.Model) and cold (Options.ColdNodes: every node from
+// scratch) — and records node counts, primal/dual pivot totals, the
+// build-vs-pivot time split, and node throughput. It writes a JSON
+// regression record (BENCH_milp.json via `make bench-milp`) so every PR has
+// an exact-MILP-path perf trajectory to compare against; the headline
+// number is the pivot ratio (cold pivots / warm pivots), which the
+// persistent search must hold at ≥2x.
+//
+// Usage:
+//
+//	milpbench [-o BENCH_milp.json] [-reps 3] [-maxnodes 20000] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"pop/internal/lb"
+	"pop/internal/milp"
+)
+
+type record struct {
+	Family  string `json:"family"`
+	Shards  int    `json:"shards"`
+	Servers int    `json:"servers"`
+	IntVars int    `json:"int_vars"`
+	Status  string `json:"status"`
+	// Warm search accounting (persistent model, per-node dual re-solves).
+	WarmNodes         int   `json:"warm_nodes"`
+	WarmNodesAccepted int   `json:"warm_nodes_accepted"`
+	WarmColdFallbacks int   `json:"warm_cold_fallbacks"`
+	WarmLPPivots      int   `json:"warm_lp_pivots"`
+	WarmDualPivots    int   `json:"warm_dual_pivots"`
+	WarmNs            int64 `json:"warm_ns"`
+	WarmBuildNs       int64 `json:"warm_build_ns"`
+	WarmSolveNs       int64 `json:"warm_solve_ns"`
+	// Cold baseline accounting (every node relaxation from scratch).
+	ColdStatus   string `json:"cold_status"`
+	ColdNodes    int    `json:"cold_nodes"`
+	ColdLPPivots int    `json:"cold_lp_pivots"`
+	ColdNs       int64  `json:"cold_ns"`
+	ColdSolveNs  int64  `json:"cold_solve_ns"`
+	// PivotRatio is cold/warm total LP pivots — the acceptance headline.
+	// Speedup is the wall-clock ratio; NodesPerSec are solve throughputs.
+	PivotRatio      float64 `json:"pivot_ratio"`
+	Speedup         float64 `json:"speedup"`
+	WarmNodesPerSec float64 `json:"warm_nodes_per_sec"`
+	ColdNodesPerSec float64 `json:"cold_nodes_per_sec"`
+	ObjAgree        bool    `json:"objectives_agree"`
+	MaxObjDelta     float64 `json:"max_obj_delta"`
+}
+
+type report struct {
+	GeneratedAt       string   `json:"generated_at"`
+	Seed              int64    `json:"seed"`
+	Reps              int      `json:"reps"`
+	MaxNodes          int      `json:"max_nodes"`
+	GeomeanPivotRatio float64  `json:"geomean_pivot_ratio"`
+	GeomeanSpeedup    float64  `json:"geomean_speedup"`
+	Records           []record `json:"records"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_milp.json", "output file ('-' for stdout)")
+		reps     = flag.Int("reps", 3, "repetitions (best wall time per search is kept)")
+		maxNodes = flag.Int("maxnodes", 20000, "node cap per search")
+		seed     = flag.Int64("seed", 1, "instance seed")
+	)
+	flag.Parse()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        *seed,
+		Reps:        *reps,
+		MaxNodes:    *maxNodes,
+	}
+	sizes := []struct{ shards, servers int }{
+		{10, 3},
+		{14, 4},
+		{18, 5},
+		{24, 6},
+	}
+	for _, sz := range sizes {
+		rep.Records = append(rep.Records, bench(sz.shards, sz.servers, *reps, *maxNodes, *seed))
+	}
+
+	logPivot, logSpeed := 0.0, 0.0
+	for _, r := range rep.Records {
+		fmt.Fprintf(os.Stderr,
+			"lb %2dx%-2d %-8s nodes warm=%-5d cold=%-5d pivots warm=%-6d (dual %-5d) cold=%-6d ratio=%.2fx wall %-10v vs %-10v speedup=%.2fx agree=%v\n",
+			r.Shards, r.Servers, r.Status, r.WarmNodes, r.ColdNodes,
+			r.WarmLPPivots, r.WarmDualPivots, r.ColdLPPivots, r.PivotRatio,
+			time.Duration(r.WarmNs), time.Duration(r.ColdNs), r.Speedup, r.ObjAgree)
+		logPivot += math.Log(r.PivotRatio)
+		logSpeed += math.Log(r.Speedup)
+	}
+	n := float64(len(rep.Records))
+	rep.GeomeanPivotRatio = math.Exp(logPivot / n)
+	rep.GeomeanSpeedup = math.Exp(logSpeed / n)
+	fmt.Fprintf(os.Stderr, "geomean pivot ratio: %.2fx, geomean speedup: %.2fx\n",
+		rep.GeomeanPivotRatio, rep.GeomeanSpeedup)
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "milpbench:", err)
+		os.Exit(1)
+	}
+}
+
+// bench solves one lb instance with both searches. No greedy incumbent is
+// installed, so the tree is the formulation's own — a node-throughput
+// measurement rather than a heuristic-pruning one. Pivot counts are
+// deterministic per search; wall times keep the best of reps.
+func bench(shards, servers, reps, maxNodes int, seed int64) record {
+	inst := lb.NewInstance(shards, servers, 0.05, seed)
+	inst.ShiftLoads(seed + 1)
+	prob, _, _ := lb.BuildMILP(inst)
+
+	rec := record{Family: "lb", Shards: shards, Servers: servers, IntVars: prob.NumInteger()}
+	rec.WarmNs, rec.ColdNs = math.MaxInt64, math.MaxInt64
+
+	var warmObj, coldObj float64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		warm, err := prob.SolveWithOptions(milp.Options{MaxNodes: maxNodes})
+		die(err)
+		if ns := time.Since(start).Nanoseconds(); ns < rec.WarmNs {
+			rec.WarmNs = ns
+			rec.Status = warm.Status.String()
+			rec.WarmNodes = warm.Nodes
+			rec.WarmNodesAccepted = warm.WarmNodes
+			rec.WarmColdFallbacks = warm.ColdFallbacks
+			rec.WarmLPPivots = warm.LPPivots
+			rec.WarmDualPivots = warm.DualPivots
+			rec.WarmBuildNs = warm.BuildNs
+			rec.WarmSolveNs = warm.SolveNs
+			warmObj = warm.Objective
+		}
+
+		start = time.Now()
+		cold, err := prob.SolveWithOptions(milp.Options{MaxNodes: maxNodes, ColdNodes: true})
+		die(err)
+		if ns := time.Since(start).Nanoseconds(); ns < rec.ColdNs {
+			rec.ColdNs = ns
+			rec.ColdStatus = cold.Status.String()
+			rec.ColdNodes = cold.Nodes
+			rec.ColdLPPivots = cold.LPPivots
+			rec.ColdSolveNs = cold.SolveNs
+			coldObj = cold.Objective
+		}
+	}
+
+	rec.MaxObjDelta = math.Abs(warmObj - coldObj)
+	// Truncated searches (node cap hit) may legitimately hold different
+	// incumbents; the warm==cold contract is on completed searches.
+	rec.ObjAgree = rec.Status != "optimal" || rec.ColdStatus != "optimal" ||
+		rec.MaxObjDelta <= 1e-6*(1+math.Abs(coldObj))
+	if rec.WarmLPPivots > 0 {
+		rec.PivotRatio = float64(rec.ColdLPPivots) / float64(rec.WarmLPPivots)
+	}
+	if rec.WarmNs > 0 {
+		rec.Speedup = float64(rec.ColdNs) / float64(rec.WarmNs)
+	}
+	rec.WarmNodesPerSec = float64(rec.WarmNodes) / (float64(rec.WarmNs) / 1e9)
+	rec.ColdNodesPerSec = float64(rec.ColdNodes) / (float64(rec.ColdNs) / 1e9)
+	return rec
+}

@@ -84,7 +84,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		status = sol.Status.String()
 		objective = sol.Objective
 		x = sol.X
-		fmt.Fprintf(stdout, "branch-and-bound: %d nodes, gap %.3g\n", sol.Nodes, sol.Gap)
+		fmt.Fprintf(stdout, "branch-and-bound: %d nodes (%d warm, %d cold-fallback), gap %.3g\n",
+			sol.Nodes, sol.WarmNodes, sol.ColdFallbacks, sol.Gap)
+		fmt.Fprintf(stdout, "pivots: %d (%d dual), build %v, solve %v\n",
+			sol.LPPivots, sol.DualPivots,
+			time.Duration(sol.BuildNs).Round(time.Microsecond),
+			time.Duration(sol.SolveNs).Round(time.Microsecond))
 	} else {
 		sol, err := prob.SolveWithOptions(lp.Options{Scale: true})
 		if err != nil {

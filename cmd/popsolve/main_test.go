@@ -92,6 +92,9 @@ func TestEndToEndMILPAndRelax(t *testing.T) {
 	if !strings.Contains(out.String(), "branch-and-bound:") || !strings.Contains(out.String(), "objective: 1\n") {
 		t.Fatalf("MILP output wrong:\n%s", out.String())
 	}
+	if !strings.Contains(out.String(), "pivots:") || !strings.Contains(out.String(), "dual)") {
+		t.Fatalf("MILP search stats missing:\n%s", out.String())
+	}
 
 	out.Reset()
 	if code := run([]string{"-relax", "-"}, strings.NewReader(tinyMILP), &out, &errOut); code != 0 {

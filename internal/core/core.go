@@ -238,10 +238,10 @@ func (h *maxHeap[C]) Less(i, j int) bool {
 	return h.load(h.items[i].Client) > h.load(h.items[j].Client)
 }
 func (h *maxHeap[C]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *maxHeap[C]) Push(x interface{}) {
+func (h *maxHeap[C]) Push(x any) {
 	h.items = append(h.items, x.(VirtualClient[C]))
 }
-func (h *maxHeap[C]) Pop() interface{} {
+func (h *maxHeap[C]) Pop() any {
 	old := h.items
 	n := len(old)
 	it := old[n-1]

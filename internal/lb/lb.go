@@ -71,6 +71,9 @@ type Assignment struct {
 	Variables int
 	// Optimal reports whether the solver proved optimality (greedy: false).
 	Optimal bool
+	// Search is the branch-and-bound accounting of the solve (zero for the
+	// greedy and the LP rounding; POP sums its sub-searches).
+	Search milp.SearchStats
 }
 
 // NewInstance builds an instance with every shard initially placed on a
@@ -120,7 +123,7 @@ func (inst *Instance) ShiftLoads(seed int64) {
 	}
 }
 
-// SolveMILP solves the §4.3 formulation exactly (subject to opts limits):
+// BuildMILP constructs the §4.3 formulation over inst:
 //
 //	minimize  Σ_ij (1-T_ij)·M_ij·Mem_i
 //	s.t.      L-ε ≤ Σ_i A_ij·Load_i ≤ L+ε      ∀ servers j
@@ -128,18 +131,19 @@ func (inst *Instance) ShiftLoads(seed int64) {
 //	          Σ_i M_ij·Mem_i ≤ MemCap_j          ∀ servers j
 //	          A_ij ≤ M_ij,  M binary, A ∈ [0,1]
 //
-// A warm-start incumbent from the greedy is installed automatically.
-func SolveMILP(inst *Instance, opts milp.Options) (*Assignment, error) {
+// It returns the problem plus the A and M variable index matrices
+// (aVar[i][j], mVar[i][j]). The builder is shared by SolveMILP, the
+// stateful MILPSolver, the equivalence suite, and cmd/milpbench, so every
+// consumer sees the identical variable and row order — which is what lets a
+// basis snapshot from one round's relaxation seed the next round's search.
+func BuildMILP(inst *Instance) (prob *milp.Problem, aVar, mVar [][]int) {
 	n, m := len(inst.Shards), len(inst.Servers)
-	if n == 0 || m == 0 {
-		return nil, fmt.Errorf("lb: empty instance")
-	}
 	L := inst.AvgLoad()
 	eps := inst.TolFrac * L
 
-	prob := milp.NewProblem(lp.Minimize)
-	aVar := make([][]int, n)
-	mVar := make([][]int, n)
+	prob = milp.NewProblem(lp.Minimize)
+	aVar = make([][]int, n)
+	mVar = make([][]int, n)
 	for i := 0; i < n; i++ {
 		aVar[i] = make([]int, m)
 		mVar[i] = make([]int, m)
@@ -182,6 +186,27 @@ func SolveMILP(inst *Instance, opts milp.Options) (*Assignment, error) {
 		prob.LP.AddConstraint(idxs, loads, lp.GE, L-eps, "loadlo")
 		prob.LP.AddConstraint(midx, mems, lp.LE, inst.Servers[j].MemCap, "mem")
 	}
+	return prob, aVar, mVar
+}
+
+// SolveMILP solves the §4.3 formulation exactly (subject to opts limits).
+// A warm-start incumbent from the greedy is installed automatically; the
+// returned Assignment carries the search's SearchStats. For round
+// sequences, MILPSolver additionally threads each round's root-relaxation
+// basis into the next round's search.
+func SolveMILP(inst *Instance, opts milp.Options) (*Assignment, error) {
+	a, _, err := solveMILP(inst, opts)
+	return a, err
+}
+
+// solveMILP is SolveMILP plus the root-relaxation basis, which the stateful
+// MILPSolver feeds back as the next round's milp.Options.RootBasis.
+func solveMILP(inst *Instance, opts milp.Options) (*Assignment, *lp.Basis, error) {
+	n, m := len(inst.Shards), len(inst.Servers)
+	if n == 0 || m == 0 {
+		return nil, nil, fmt.Errorf("lb: empty instance")
+	}
+	prob, aVar, mVar := BuildMILP(inst)
 
 	// Warm start from the greedy solution.
 	if opts.Incumbent == nil {
@@ -202,14 +227,15 @@ func SolveMILP(inst *Instance, opts milp.Options) (*Assignment, error) {
 
 	sol, err := prob.SolveWithOptions(opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sol.Status != milp.Optimal && sol.Status != milp.Feasible {
 		// Node/time-limited search with no incumbent (or an infeasible
 		// band): fall back to the greedy best effort, marked non-optimal.
 		g := SolveGreedy(inst)
 		g.Optimal = false
-		return g, nil
+		g.Search = sol.SearchStats
+		return g, sol.RootBasis, nil
 	}
 
 	out := &Assignment{
@@ -217,6 +243,7 @@ func SolveMILP(inst *Instance, opts milp.Options) (*Assignment, error) {
 		Placed:    make([][]bool, n),
 		Variables: prob.LP.NumVariables(),
 		Optimal:   sol.Status == milp.Optimal,
+		Search:    sol.SearchStats,
 	}
 	for i := 0; i < n; i++ {
 		out.Frac[i] = make([]float64, m)
@@ -227,7 +254,40 @@ func SolveMILP(inst *Instance, opts milp.Options) (*Assignment, error) {
 		}
 	}
 	finalizeAssignment(inst, out)
-	return out, nil
+	return out, sol.RootBasis, nil
+}
+
+// MILPSolver is a stateful exact solver for round sequences: each round's
+// search emits its root-relaxation basis, and the next round — the same
+// formulation with drifted loads and costs — seeds its root with it
+// (milp.Options.RootBasis), so the first factorization of every round after
+// the first starts from last round's optimal basis instead of from scratch.
+// A snapshot that no longer fits (the instance changed shape) is discarded
+// inside the LP solver, so the seeding never changes outcomes.
+type MILPSolver struct {
+	opts      milp.Options
+	rootBasis *lp.Basis
+}
+
+// NewMILPSolver returns a stateful exact solver; opts applies to every
+// round (opts.RootBasis is overwritten with the threaded basis).
+func NewMILPSolver(opts milp.Options) *MILPSolver {
+	return &MILPSolver{opts: opts}
+}
+
+// Solve runs one balancing round, seeding the search with the previous
+// round's root basis. It has the Solver signature for RunRounds.
+func (s *MILPSolver) Solve(inst *Instance) (*Assignment, error) {
+	opts := s.opts
+	opts.RootBasis = s.rootBasis
+	a, basis, err := solveMILP(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	if basis != nil {
+		s.rootBasis = basis
+	}
+	return a, nil
 }
 
 // finalizeAssignment computes Movements, MovedBytes, and MaxDeviation.

@@ -193,3 +193,62 @@ func TestLPRoundingFeasibleButMovesMore(t *testing.T) {
 		t.Fatalf("LP rounding moved %g bytes, below MILP optimum %g", lpr.MovedBytes, exact.MovedBytes)
 	}
 }
+
+func TestMILPSolverThreadsRootBasisAcrossRounds(t *testing.T) {
+	inst := NewInstance(10, 3, 0.1, 31)
+	solver := NewMILPSolver(milp.Options{MaxNodes: 20000})
+	res, err := RunRounds(inst, 3, 77, solver.Solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalRounds != 3 {
+		t.Fatalf("only %d/3 rounds optimal", res.OptimalRounds)
+	}
+	if res.Search.Nodes == 0 || res.Search.LPPivots == 0 {
+		t.Fatalf("search stats not aggregated: %+v", res.Search)
+	}
+	// After round one the solver carries a root basis, so rounds 2+ must
+	// attempt the root seed (booked as warm or cold-fallback).
+	if solver.rootBasis == nil {
+		t.Fatal("no root basis retained across rounds")
+	}
+
+	// Seeding never changes answers: on identical instances, a solver
+	// carrying a (deliberately mismatched-vintage) root basis must reach
+	// the stateless solve's optimal objective. Later-round *placements* may
+	// legitimately differ between runs (alternate optimal incumbents feed
+	// back through inst.Placement), so the contract is per-instance.
+	seededInst := NewInstance(10, 3, 0.1, 99)
+	seededInst.ShiftLoads(98)
+	statelessInst := NewInstance(10, 3, 0.1, 99)
+	statelessInst.ShiftLoads(98)
+	seeded, err := solver.Solve(seededInst) // solver still holds round 3's basis
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateless, err := SolveMILP(statelessInst, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Optimal != stateless.Optimal {
+		t.Fatalf("seeded optimal=%v, stateless optimal=%v", seeded.Optimal, stateless.Optimal)
+	}
+	if d := seeded.MovedBytes - stateless.MovedBytes; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("seeded moved %g bytes, stateless %g", seeded.MovedBytes, stateless.MovedBytes)
+	}
+}
+
+func TestSolveMILPReportsSearchStats(t *testing.T) {
+	inst := NewInstance(12, 3, 0.05, 41)
+	inst.ShiftLoads(42)
+	a, err := SolveMILP(inst, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Search.Nodes == 0 || a.Search.LPPivots == 0 {
+		t.Fatalf("missing search stats: %+v", a.Search)
+	}
+	if a.Search.Nodes > 2 && a.Search.WarmNodes == 0 {
+		t.Fatalf("no node ever warm-started: %+v", a.Search)
+	}
+}

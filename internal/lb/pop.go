@@ -71,6 +71,7 @@ func SolvePOP(inst *Instance, opts core.Options, milpOpts milp.Options) (*Assign
 		sa := subAssignments[p]
 		out.Variables += sa.Variables
 		out.Optimal = out.Optimal && sa.Optimal
+		out.Search.Add(sa.Search)
 		for si, i := range shardGroups[p] {
 			for sj, j := range serverGroups[p] {
 				out.Frac[i][j] = sa.Frac[si][sj]

@@ -2,6 +2,8 @@ package lb
 
 import (
 	"time"
+
+	"pop/internal/milp"
 )
 
 // Solver produces an assignment for one balancing round.
@@ -18,6 +20,10 @@ type RoundsResult struct {
 	TotalRuntime  time.Duration
 	// OptimalRounds counts rounds where the solver proved optimality.
 	OptimalRounds int
+	// Search sums the branch-and-bound accounting across all rounds (zero
+	// for non-MILP solvers), so experiment rows can attribute time to model
+	// builds vs LP pivots.
+	Search milp.SearchStats
 }
 
 // RunRounds plays `rounds` balancing rounds: each round the shard loads
@@ -39,6 +45,7 @@ func RunRounds(inst *Instance, rounds int, seed int64, solver Solver) (*RoundsRe
 		res.AvgMovements += float64(a.Movements)
 		res.AvgMovedBytes += a.MovedBytes
 		res.AvgDeviation += a.MaxDeviation
+		res.Search.Add(a.Search)
 		if a.Optimal {
 			res.OptimalRounds++
 		}

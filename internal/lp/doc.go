@@ -100,6 +100,13 @@
 // the cached form (scaling rescales the matrix in place), trading the
 // incremental-build saving for conditioning on that solve.
 //
+// Basis() and SetBasis() expose the stored snapshot for search-tree use:
+// take the basis at one point, keep mutating and re-solving down one path,
+// then jump back by re-installing the snapshot under different bounds. The
+// branch and bound in package milp runs its whole tree this way — each open
+// node carries its parent's snapshot, and bound-only branching keeps every
+// node re-solve on the dual path below.
+//
 // # Dual simplex
 //
 // Perturbing only b, l, or u leaves reduced costs untouched, so the

@@ -97,6 +97,28 @@ func (m *Model) HasBasis() bool { return m.basis != nil }
 // loses to a fresh phase 1) use this; it never changes solve outcomes.
 func (m *Model) ForgetBasis() { m.basis = nil }
 
+// Basis returns the basis snapshot the next solve would warm-start from
+// (the last optimal solve's basis, or whatever SetBasis installed), or nil
+// when the model holds none. The snapshot is shared, not copied; callers
+// must treat it as immutable (Clone it before editing).
+func (m *Model) Basis() *Basis { return m.basis }
+
+// SetBasis installs a basis snapshot as the warm-start state for the next
+// solve, replacing whatever the model currently holds (nil is ForgetBasis).
+// This is the restore half of the search-tree pattern: take Solution.Basis
+// (or Basis()) at one point, keep mutating and re-solving, then jump back by
+// re-installing the snapshot — branch and bound uses it so a best-bound jump
+// restarts from the popped node's parent basis instead of the last plunge's.
+//
+// The delta classification is untouched: the dual simplex path stays
+// eligible only when no coefficient or structural edit happened since the
+// model last stored a basis, which is exactly the bound-tightening-only
+// regime of a branch-and-bound search. A snapshot that turns out not to fit
+// the current state is rejected inside the solver (dual → primal warm →
+// cold), so SetBasis never changes solve outcomes. The snapshot is retained
+// as-is, not copied; callers must not mutate it afterwards.
+func (m *Model) SetBasis(b *Basis) { m.basis = b }
+
 // AddVariable appends a variable with objective coefficient c and bounds
 // [lb, ub], returning its index.
 func (m *Model) AddVariable(c, lb, ub float64, name string) int {

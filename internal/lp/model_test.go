@@ -410,3 +410,83 @@ func TestModelSetCoeffsMatchesPerEntry(t *testing.T) {
 		}
 	}
 }
+
+// TestModelSetBasisSearchTreePattern exercises the snapshot/restore cycle a
+// branch-and-bound search runs: snapshot the basis after a solve, tighten
+// bounds and re-solve down one path, then jump back by re-installing the
+// snapshot under a sibling's bounds. Every re-solve must match a cold
+// rebuild, and the bound-only regime must keep the dual path engaged.
+func TestModelSetBasisSearchTreePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := lp.NewModelFromProblem(gen.LB(gen.Small, 5))
+	root, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Status != lp.Optimal {
+		t.Fatalf("root status %v", root.Status)
+	}
+	snapshot := m.Basis()
+	if snapshot == nil {
+		t.Fatal("no basis stored after an optimal solve")
+	}
+
+	check := func(tag string) *lp.Solution {
+		t.Helper()
+		got, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.CopyProblem().Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("%s: status %v != rebuild %v", tag, got.Status, want.Status)
+		}
+		if want.Status == lp.Optimal && math.Abs(got.Objective-want.Objective) > 1e-6*(1+math.Abs(want.Objective)) {
+			t.Fatalf("%s: objective %.12g != rebuild %.12g", tag, got.Objective, want.Objective)
+		}
+		return got
+	}
+
+	// Plunge: tighten a few variables to an integer floor/ceiling, dual
+	// re-solving from the model's own basis chain.
+	nv := m.NumVariables()
+	dualSeen := false
+	touched := []int{}
+	for step := 0; step < 4; step++ {
+		v := rng.Intn(nv)
+		m.SetBounds(v, 0, 0)
+		touched = append(touched, v)
+		sol := check("plunge")
+		if sol.Status == lp.Optimal && sol.DualPivots > 0 {
+			dualSeen = true
+		}
+	}
+
+	// Jump: restore base bounds, install the root snapshot, and tighten a
+	// different variable — the best-bound-jump shape.
+	for _, v := range touched {
+		m.SetBounds(v, 0, 1)
+	}
+	m.SetBasis(snapshot)
+	if m.Basis() != snapshot {
+		t.Fatal("Basis() does not return the installed snapshot")
+	}
+	m.SetBounds((touched[0]+1)%nv, 1, 1)
+	jump := check("jump")
+	if jump.Status == lp.Optimal && !jump.WarmStarted {
+		t.Fatal("best-bound jump did not warm-start from the installed snapshot")
+	}
+	if !dualSeen && jump.DualPivots == 0 {
+		t.Fatal("dual simplex never engaged across a bound-only search pattern")
+	}
+
+	// SetBasis(nil) behaves as ForgetBasis: the next solve runs cold.
+	m.SetBasis(nil)
+	cold := check("forgotten")
+	if cold.WarmStarted {
+		t.Fatal("solve after SetBasis(nil) still warm-started")
+	}
+}

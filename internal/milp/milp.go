@@ -1,21 +1,41 @@
 // Package milp implements a mixed-integer linear-programming solver by
 // branch and bound over the LP relaxations provided by package lp.
 //
-// The search uses best-bound node selection with depth-first plunging (the
-// most recently created child is explored first until it is fathomed, then
-// the globally best-bound node is taken), most-fractional branching, and a
-// root rounding heuristic to obtain an early incumbent. Termination criteria
-// are absolute/relative gap, node limit, and wall-clock limit.
+// The search keeps one persistent lp.Model per solve instead of re-building
+// (or mutate-and-restoring) an LP per node: the root relaxation standardizes
+// and factors once, and every subsequent node applies its branching bounds
+// as in-place SetBounds deltas on that model. A child node differs from its
+// parent by a single variable-bound tightening — exactly the delta shape the
+// dual simplex re-solves from a still-dual-feasible basis — so each node
+// installs its parent's optimal basis snapshot (nodes carry one; SetBasis
+// restores it) and re-solves in a handful of dual pivots. Depth-first
+// plunging explores the most recently branched child first, keeping the
+// installed basis one bound-change away from the solve before it; when a
+// plunge fathoms, the search jumps to the globally best-bound open node,
+// whose carried snapshot makes the jump warm rather than cold. The root
+// rounding heuristic re-solves through the same model with the integer
+// variables fixed, warm from the root basis.
 //
-// This is what the load-balancing case study (§4.3 of the POP paper) uses:
-// its formulation is a small MILP whose exponential solve time motivates POP
-// in the first place.
+// Warm starts never change outcomes: an ineligible or failed dual start
+// falls back to the primal warm path and then to a cold solve inside lp, so
+// statuses and objectives match a cold-per-node search exactly (the
+// persistent_test.go property suite holds the two searches to the same
+// status, objective, and incumbent feasibility; Options.ColdNodes selects
+// the cold baseline). Solution embeds SearchStats — warm/cold node counts,
+// primal/dual pivot totals, and a build-vs-pivot time split — so callers
+// can attribute where a search spent its time.
+//
+// Branching is most-fractional; termination criteria are absolute/relative
+// gap, node limit, and wall-clock limit. This is what the load-balancing
+// case study (§4.3 of the POP paper) uses: its formulation is a small MILP
+// whose exponential solve time motivates POP in the first place.
 package milp
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"pop/internal/lp"
@@ -79,6 +99,17 @@ type Options struct {
 	// point (e.g. from a domain heuristic); it is validated before use and
 	// lets the search prune aggressively from the first node.
 	Incumbent []float64
+	// RootBasis optionally warm-starts the root relaxation with a basis
+	// snapshot from an earlier solve of the same (or a perturbed) LP —
+	// typically Solution.RootBasis of the previous round's search over the
+	// same formulation. A snapshot that no longer fits is discarded inside
+	// the LP solver, so seeding never changes outcomes.
+	RootBasis *lp.Basis
+	// ColdNodes disables every warm start inside the search: each node's
+	// relaxation solves from scratch, reproducing the pre-persistent-model
+	// cold-per-node search. The equivalence suite and cmd/milpbench use it
+	// as the baseline; outcomes never differ, only pivot counts and time.
+	ColdNodes bool
 	// LP propagates options to the relaxation solver.
 	LP lp.Options
 }
@@ -132,6 +163,39 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
+// SearchStats is the branch-and-bound accounting: how many node relaxations
+// were solved, how many of them actually started warm, and where the time
+// went. It mirrors online.Stats' build-vs-pivot split so BENCH rows across
+// the repository attribute time the same way.
+type SearchStats struct {
+	// Nodes counts solved node relaxations (including rounding re-solves).
+	Nodes int
+	// LPPivots is the total simplex pivots across all node relaxations;
+	// DualPivots is the subset taken by the dual simplex phase on the
+	// bound-only node deltas.
+	LPPivots, DualPivots int
+	// WarmNodes counts node solves that accepted their parent's basis
+	// snapshot; ColdFallbacks counts warm-eligible solves where the solver
+	// rejected the snapshot and fell back to a cold start. Nodes without a
+	// parent basis (the root, or every node under Options.ColdNodes) are in
+	// neither bucket.
+	WarmNodes, ColdFallbacks int
+	// BuildNs is time spent mutating the persistent model (bound deltas,
+	// basis snapshots); SolveNs is time spent inside the LP solver.
+	BuildNs, SolveNs int64
+}
+
+// Add accumulates other into s (POP sums its sub-searches this way).
+func (s *SearchStats) Add(other SearchStats) {
+	s.Nodes += other.Nodes
+	s.LPPivots += other.LPPivots
+	s.DualPivots += other.DualPivots
+	s.WarmNodes += other.WarmNodes
+	s.ColdFallbacks += other.ColdFallbacks
+	s.BuildNs += other.BuildNs
+	s.SolveNs += other.SolveNs
+}
+
 // Solution is the result of a MILP solve.
 type Solution struct {
 	Status    Status
@@ -141,8 +205,13 @@ type Solution struct {
 	// maximization, ≤ for minimization at early exit).
 	Bound float64
 	// Gap is |Bound-Objective| / max(1, |Objective|) at exit.
-	Gap   float64
-	Nodes int
+	Gap float64
+	// RootBasis is the root relaxation's optimal basis (nil when the root
+	// did not solve to optimality). Feeding it to Options.RootBasis of a
+	// later search over the same formulation — the next balancing round,
+	// say — warm-starts that search's root.
+	RootBasis *lp.Basis
+	SearchStats
 }
 
 type node struct {
@@ -150,17 +219,21 @@ type node struct {
 	lb, ub map[int]float64
 	bound  float64 // parent LP objective (optimistic)
 	depth  int
+	// basis is the parent relaxation's optimal basis snapshot: the node's
+	// LP differs from the parent's by one bound tightening, so the snapshot
+	// is still dual feasible and the dual simplex restarts from it.
+	basis *lp.Basis
 }
 
 // nodeHeap orders nodes by most promising bound (max-heap on bound for
 // maximization problems; the solver normalizes to maximization internally).
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() interface{} {
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].bound > h[j].bound }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]
@@ -174,13 +247,27 @@ type solver struct {
 	maximize bool
 	deadline time.Time
 
+	// model is the one persistent LP of the whole search: built from a deep
+	// copy of prob.LP (the original is never touched), standardized once,
+	// then mutated in place per node. applied tracks which variables
+	// currently carry node bounds, so switching nodes resets exactly the
+	// stale ones.
+	model   *lp.Model
+	applied map[int]bool
+
 	baseLB, baseUB []float64 // original bounds snapshot
+	intVars        []int     // integer variables in ascending order
+
+	// dive is the preferred child of the last branched node, explored next
+	// (depth-first plunging) before the heap's best-bound node.
+	dive *node
 
 	incumbent    []float64
 	incumbentObj float64 // in maximization orientation
 	haveInc      bool
 
-	nodes int
+	rootBasis *lp.Basis
+	stats     SearchStats
 }
 
 // Solve runs branch and bound with default options.
@@ -212,42 +299,58 @@ func (s *solver) orient(v float64) float64 {
 func (s *solver) run() (*Solution, error) {
 	p := s.prob
 	s.maximize = p.LP.ObjectiveSense() == lp.Maximize
+	// A sorted branching order makes the whole search deterministic (map
+	// iteration would jitter tie-breaks, and with them node and pivot
+	// counts, run to run).
+	s.intVars = make([]int, 0, len(p.integer))
+	for v := range p.integer {
+		s.intVars = append(s.intVars, v)
+	}
+	sort.Ints(s.intVars)
 	s.snapshotBounds()
-	defer s.restoreBounds()
+	s.model = lp.NewModelFromProblem(p.LP)
+	s.applied = map[int]bool{}
 	s.incumbentObj = math.Inf(-1)
 
 	root := &node{lb: map[int]float64{}, ub: map[int]float64{}, bound: math.Inf(1)}
+	if !s.opts.ColdNodes {
+		root.basis = s.opts.RootBasis
+	}
 	rootSol, err := s.solveRelaxation(root)
 	if err != nil {
 		return nil, err
 	}
 	switch rootSol.Status {
 	case lp.Infeasible:
-		return &Solution{Status: Infeasible}, nil
+		return s.finish(Infeasible, 0), nil
 	case lp.Unbounded:
-		return &Solution{Status: Unbounded}, nil
+		return s.finish(Unbounded, 0), nil
 	case lp.Optimal:
 	default:
-		return &Solution{Status: Unknown}, nil
+		return s.finish(Unknown, 0), nil
 	}
+	s.rootBasis = rootSol.Basis
 
 	// Warm start from a caller-provided incumbent, if valid.
 	s.tryIncumbent()
 
 	// Root rounding heuristic: round the relaxation to the nearest integer
 	// point and re-solve the continuous rest with integers fixed.
-	s.tryRounding(root, rootSol)
+	s.tryRounding(rootSol)
 
 	open := &nodeHeap{}
 	heap.Init(open)
 	root.bound = s.orient(rootSol.Objective)
 	s.expandOrAccept(open, root, rootSol)
 
-	for open.Len() > 0 {
-		if s.stopEarly() {
-			return s.finish(Feasible, (*open)[0].bound), nil
+	for s.dive != nil || open.Len() > 0 {
+		if s.haveInc && s.gapClosed(open) {
+			break
 		}
-		n := heap.Pop(open).(*node)
+		if s.stopEarly() {
+			return s.finish(Feasible, s.bestBound(open)), nil
+		}
+		n := s.nextNode(open)
 		if s.haveInc && n.bound <= s.incumbentObj+s.opts.AbsGap {
 			continue // fathomed by bound
 		}
@@ -263,33 +366,52 @@ func (s *solver) run() (*Solution, error) {
 			continue
 		}
 		s.expandOrAccept(open, n, sol)
-
-		if s.haveInc && s.gapClosed(open) {
-			break
-		}
 	}
 
-	bound := s.incumbentObj
-	if open.Len() > 0 {
+	if !s.haveInc {
+		return s.finish(Infeasible, 0), nil
+	}
+	return s.finish(Optimal, s.incumbentObj), nil
+}
+
+// nextNode takes the plunge child when one is pending — its parent solved
+// last, so the model's bounds and basis are one branching step away — and
+// otherwise pops the best-bound node, whose carried basis snapshot makes
+// the jump warm.
+func (s *solver) nextNode(open *nodeHeap) *node {
+	if s.dive != nil {
+		n := s.dive
+		s.dive = nil
+		return n
+	}
+	return heap.Pop(open).(*node)
+}
+
+// bestBound is the most optimistic bound over all unexplored nodes.
+func (s *solver) bestBound(open *nodeHeap) float64 {
+	bound := math.Inf(-1)
+	if s.dive != nil {
+		bound = s.dive.bound
+	}
+	if open.Len() > 0 && (*open)[0].bound > bound {
 		bound = (*open)[0].bound
 	}
-	if !s.haveInc {
-		return &Solution{Status: Infeasible, Nodes: s.nodes}, nil
+	if math.IsInf(bound, -1) {
+		bound = s.incumbentObj
 	}
-	return s.finish(Optimal, bound), nil
+	return bound
 }
 
 func (s *solver) gapClosed(open *nodeHeap) bool {
-	if open.Len() == 0 {
+	if s.dive == nil && open.Len() == 0 {
 		return true
 	}
-	best := (*open)[0].bound
-	gap := best - s.incumbentObj
+	gap := s.bestBound(open) - s.incumbentObj
 	return gap <= s.opts.AbsGap || gap <= s.opts.RelGap*math.Max(1, math.Abs(s.incumbentObj))
 }
 
 func (s *solver) stopEarly() bool {
-	if s.nodes >= s.opts.MaxNodes {
+	if s.stats.Nodes >= s.opts.MaxNodes {
 		return true
 	}
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
@@ -299,9 +421,11 @@ func (s *solver) stopEarly() bool {
 }
 
 // expandOrAccept either records an integer-feasible relaxation as the new
-// incumbent or branches on the most fractional variable.
+// incumbent or branches on the most fractional variable. Both children
+// carry the relaxation's basis snapshot; the child the fractional value
+// leans toward becomes the plunge target, the other joins the open heap.
 func (s *solver) expandOrAccept(open *nodeHeap, n *node, sol *lp.Solution) {
-	frac, v := s.mostFractional(sol.X)
+	_, v := s.mostFractional(sol.X)
 	if v < 0 {
 		// Integer feasible.
 		obj := s.orient(sol.Objective)
@@ -312,19 +436,25 @@ func (s *solver) expandOrAccept(open *nodeHeap, n *node, sol *lp.Solution) {
 		}
 		return
 	}
-	_ = frac
 	x := sol.X[v]
 	floor := math.Floor(x)
 
-	down := &node{lb: copyMap(n.lb), ub: copyMap(n.ub), bound: n.bound, depth: n.depth + 1}
+	down := &node{lb: copyMap(n.lb), ub: copyMap(n.ub), bound: n.bound, depth: n.depth + 1, basis: sol.Basis}
 	tightenUB(down, v, floor)
-	up := &node{lb: copyMap(n.lb), ub: copyMap(n.ub), bound: n.bound, depth: n.depth + 1}
+	up := &node{lb: copyMap(n.lb), ub: copyMap(n.ub), bound: n.bound, depth: n.depth + 1, basis: sol.Basis}
 	tightenLB(up, v, floor+1)
 
-	// Push the child whose side the fractional value leans toward last so
-	// plunging (best-bound ties broken by heap order) tends to follow it.
-	heap.Push(open, down)
-	heap.Push(open, up)
+	// Plunge toward the side the fractional value leans to; the other child
+	// waits on the heap with its basis snapshot for a warm best-bound jump.
+	// nextNode cleared s.dive before this node was solved, so the slot is
+	// free.
+	if x-floor >= 0.5 {
+		s.dive = up
+		heap.Push(open, down)
+	} else {
+		s.dive = down
+		heap.Push(open, up)
+	}
 }
 
 func tightenUB(n *node, v int, val float64) {
@@ -351,7 +481,7 @@ func copyMap(m map[int]float64) map[int]float64 {
 // farthest from integrality, or (0, -1) if all are integral.
 func (s *solver) mostFractional(x []float64) (float64, int) {
 	best, bestV := s.opts.IntTol, -1
-	for v := range s.prob.integer {
+	for _, v := range s.intVars {
 		f := math.Abs(x[v] - math.Round(x[v]))
 		if f > best {
 			best = f
@@ -361,12 +491,41 @@ func (s *solver) mostFractional(x []float64) (float64, int) {
 	return best, bestV
 }
 
-// solveRelaxation solves the LP relaxation under the node's extra bounds.
+// solveRelaxation solves the LP relaxation under the node's extra bounds:
+// the node's bound deltas are applied to the persistent model in place, the
+// node's carried basis snapshot is installed (bound-only deltas keep it
+// dual feasible, so the dual simplex settles it in a few pivots; an
+// ineligible snapshot falls back primal-warm→cold inside lp), and the
+// re-solve is booked into the search stats.
 func (s *solver) solveRelaxation(n *node) (*lp.Solution, error) {
+	t0 := time.Now()
 	s.applyBounds(n)
-	defer s.restoreBounds()
-	s.nodes++
-	return s.prob.LP.SolveWithOptions(s.opts.LP)
+	warm := false
+	if s.opts.ColdNodes || n.basis == nil {
+		s.model.ForgetBasis()
+	} else {
+		s.model.SetBasis(n.basis)
+		warm = true
+	}
+	s.stats.BuildNs += time.Since(t0).Nanoseconds()
+	s.stats.Nodes++
+
+	t0 = time.Now()
+	sol, err := s.model.SolveWithOptions(s.opts.LP)
+	s.stats.SolveNs += time.Since(t0).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	s.stats.LPPivots += sol.Iterations
+	s.stats.DualPivots += sol.DualPivots
+	if warm {
+		if sol.WarmStarted {
+			s.stats.WarmNodes++
+		} else {
+			s.stats.ColdFallbacks++
+		}
+	}
+	return sol, nil
 }
 
 func (s *solver) snapshotBounds() {
@@ -380,7 +539,20 @@ func (s *solver) snapshotBounds() {
 	}
 }
 
+// applyBounds switches the persistent model from the previous node's bounds
+// to n's: variables the previous node tightened but n does not return to
+// their base bounds, and n's tightenings are applied (SetBounds no-ops on
+// unchanged values, so a parent→child plunge costs one real edit).
 func (s *solver) applyBounds(n *node) {
+	for v := range s.applied {
+		_, inLB := n.lb[v]
+		_, inUB := n.ub[v]
+		if inLB || inUB {
+			continue
+		}
+		s.model.SetBounds(v, s.baseLB[v], s.baseUB[v])
+		delete(s.applied, v)
+	}
 	// Branching tightens lb upward and ub downward around fractional LP
 	// values inside the current domain, so lb ≤ ub always holds; the clamps
 	// below are purely defensive.
@@ -392,7 +564,8 @@ func (s *solver) applyBounds(n *node) {
 		if lb > ub {
 			lb = ub
 		}
-		s.prob.LP.SetBounds(v, lb, ub)
+		s.model.SetBounds(v, lb, ub)
+		s.applied[v] = true
 	}
 	for v, ub := range n.ub {
 		if _, done := n.lb[v]; done {
@@ -402,17 +575,14 @@ func (s *solver) applyBounds(n *node) {
 		if ub < lb {
 			ub = lb
 		}
-		s.prob.LP.SetBounds(v, lb, ub)
+		s.model.SetBounds(v, lb, ub)
+		s.applied[v] = true
 	}
 }
 
-func (s *solver) restoreBounds() {
-	for v := range s.baseLB {
-		s.prob.LP.SetBounds(v, s.baseLB[v], s.baseUB[v])
-	}
-}
-
-// tryIncumbent validates and installs the caller-provided warm start.
+// tryIncumbent validates and installs the caller-provided warm start. It
+// judges feasibility against the original problem, whose bounds the
+// persistent model's node deltas never touch.
 func (s *solver) tryIncumbent() {
 	x := s.opts.Incumbent
 	if x == nil {
@@ -421,7 +591,7 @@ func (s *solver) tryIncumbent() {
 	if err := s.prob.LP.CheckFeasible(x, 1e-6); err != nil {
 		return
 	}
-	for v := range s.prob.integer {
+	for _, v := range s.intVars {
 		if math.Abs(x[v]-math.Round(x[v])) > s.opts.IntTol {
 			return
 		}
@@ -435,14 +605,15 @@ func (s *solver) tryIncumbent() {
 }
 
 // tryRounding rounds the root relaxation and accepts it if feasible: all
-// integer vars are fixed at rounded values and the continuous LP re-solved.
-func (s *solver) tryRounding(root *node, rootSol *lp.Solution) {
+// integer vars are fixed at rounded values and the continuous LP re-solved
+// through the same persistent model, warm from the root basis.
+func (s *solver) tryRounding(rootSol *lp.Solution) {
 	if len(s.prob.integer) == 0 {
 		return
 	}
 	for _, round := range []func(float64) float64{math.Round, math.Floor} {
-		fixed := &node{lb: map[int]float64{}, ub: map[int]float64{}}
-		for v := range s.prob.integer {
+		fixed := &node{lb: map[int]float64{}, ub: map[int]float64{}, basis: rootSol.Basis}
+		for _, v := range s.intVars {
 			r := round(rootSol.X[v])
 			if r < s.baseLB[v] {
 				r = math.Ceil(s.baseLB[v])
@@ -468,8 +639,13 @@ func (s *solver) tryRounding(root *node, rootSol *lp.Solution) {
 }
 
 func (s *solver) finish(st Status, bound float64) *Solution {
+	sol := &Solution{Status: st, RootBasis: s.rootBasis, SearchStats: s.stats}
+	if st == Infeasible || st == Unbounded {
+		return sol
+	}
 	if !s.haveInc {
-		return &Solution{Status: Unknown, Nodes: s.nodes}
+		sol.Status = Unknown
+		return sol
 	}
 	obj := s.incumbentObj
 	gap := math.Abs(bound-obj) / math.Max(1, math.Abs(obj))
@@ -481,12 +657,9 @@ func (s *solver) finish(st Status, bound float64) *Solution {
 	if !s.maximize {
 		objOut, boundOut = -obj, -bound
 	}
-	return &Solution{
-		Status:    st,
-		Objective: objOut,
-		X:         s.incumbent,
-		Bound:     boundOut,
-		Gap:       gap,
-		Nodes:     s.nodes,
-	}
+	sol.Objective = objOut
+	sol.X = s.incumbent
+	sol.Bound = boundOut
+	sol.Gap = gap
+	return sol
 }
