@@ -5,15 +5,18 @@
 // warm (per-node dual-simplex re-solves from parent basis snapshots over
 // one persistent lp.Model) and cold (Options.ColdNodes: every node from
 // scratch) — and records node counts, primal/dual pivot totals, the
-// build-vs-pivot time split, and node throughput. It writes a JSON
-// regression record (BENCH_milp.json via `make bench-milp`) so every PR has
-// an exact-MILP-path perf trajectory to compare against; the headline
-// number is the pivot ratio (cold pivots / warm pivots), which the
+// build-vs-pivot time split, and node throughput. A workers sweep then runs
+// the warm search at each requested worker count and records node
+// throughput normalized to workers=1 — the parallel-search acceptance
+// headline (≥2x at NumCPU≥4). It writes a JSON regression record
+// (BENCH_milp.json via `make bench-milp`) so every PR has an
+// exact-MILP-path perf trajectory to compare against; the warm-vs-cold
+// headline number is the pivot ratio (cold pivots / warm pivots), which the
 // persistent search must hold at ≥2x.
 //
 // Usage:
 //
-//	milpbench [-o BENCH_milp.json] [-reps 3] [-maxnodes 20000] [-seed 1]
+//	milpbench [-o BENCH_milp.json] [-reps 3] [-maxnodes 20000] [-seed 1] [-workers auto|1,2,4]
 package main
 
 import (
@@ -22,6 +25,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"pop/internal/lb"
@@ -57,6 +63,20 @@ type record struct {
 	ColdNodesPerSec float64 `json:"cold_nodes_per_sec"`
 	ObjAgree        bool    `json:"objectives_agree"`
 	MaxObjDelta     float64 `json:"max_obj_delta"`
+	// WorkersSweep scales the warm search across worker counts on the same
+	// instance; ThroughputX is node throughput relative to workers=1 (the
+	// parallel-search acceptance headline: ≥2x at NumCPU≥4).
+	WorkersSweep []workersPoint `json:"workers_sweep"`
+}
+
+type workersPoint struct {
+	Workers     int     `json:"workers"`
+	Status      string  `json:"status"`
+	Nodes       int     `json:"nodes"`
+	Ns          int64   `json:"ns"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	ThroughputX float64 `json:"throughput_vs_w1"`
+	ObjAgree    bool    `json:"objective_agrees_w1"`
 }
 
 type report struct {
@@ -64,9 +84,38 @@ type report struct {
 	Seed              int64    `json:"seed"`
 	Reps              int      `json:"reps"`
 	MaxNodes          int      `json:"max_nodes"`
+	NumCPU            int      `json:"num_cpu"`
+	WorkerCounts      []int    `json:"worker_counts"`
 	GeomeanPivotRatio float64  `json:"geomean_pivot_ratio"`
 	GeomeanSpeedup    float64  `json:"geomean_speedup"`
 	Records           []record `json:"records"`
+}
+
+// parseWorkers parses the -workers flag: a comma-separated list of worker
+// counts, or "auto" for 1, 2, 4, ... up to NumCPU.
+func parseWorkers(s string) ([]int, error) {
+	if s == "auto" {
+		// Always sweep at least {1, 2} so the record carries a scaling
+		// column even on single-CPU machines (num_cpu in the report says
+		// how to read it), then double up to NumCPU.
+		counts := []int{1, 2}
+		for w := 4; w < runtime.NumCPU(); w *= 2 {
+			counts = append(counts, w)
+		}
+		if n := runtime.NumCPU(); n > counts[len(counts)-1] {
+			counts = append(counts, n)
+		}
+		return counts, nil
+	}
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", f)
+		}
+		counts = append(counts, w)
+	}
+	return counts, nil
 }
 
 func main() {
@@ -75,14 +124,19 @@ func main() {
 		reps     = flag.Int("reps", 3, "repetitions (best wall time per search is kept)")
 		maxNodes = flag.Int("maxnodes", 20000, "node cap per search")
 		seed     = flag.Int64("seed", 1, "instance seed")
+		workers  = flag.String("workers", "auto", "worker counts to sweep: comma list or 'auto' (1,2,4,...,NumCPU)")
 	)
 	flag.Parse()
 
+	counts, err := parseWorkers(*workers)
+	die(err)
 	rep := report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Seed:        *seed,
-		Reps:        *reps,
-		MaxNodes:    *maxNodes,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Seed:         *seed,
+		Reps:         *reps,
+		MaxNodes:     *maxNodes,
+		NumCPU:       runtime.NumCPU(),
+		WorkerCounts: counts,
 	}
 	sizes := []struct{ shards, servers int }{
 		{10, 3},
@@ -91,7 +145,7 @@ func main() {
 		{24, 6},
 	}
 	for _, sz := range sizes {
-		rep.Records = append(rep.Records, bench(sz.shards, sz.servers, *reps, *maxNodes, *seed))
+		rep.Records = append(rep.Records, bench(sz.shards, sz.servers, *reps, *maxNodes, *seed, counts))
 	}
 
 	logPivot, logSpeed := 0.0, 0.0
@@ -101,6 +155,11 @@ func main() {
 			r.Shards, r.Servers, r.Status, r.WarmNodes, r.ColdNodes,
 			r.WarmLPPivots, r.WarmDualPivots, r.ColdLPPivots, r.PivotRatio,
 			time.Duration(r.WarmNs), time.Duration(r.ColdNs), r.Speedup, r.ObjAgree)
+		for _, wp := range r.WorkersSweep {
+			fmt.Fprintf(os.Stderr,
+				"         workers=%-2d %-8s nodes=%-5d wall %-10v nodes/s=%-9.0f throughput=%.2fx agree=%v\n",
+				wp.Workers, wp.Status, wp.Nodes, time.Duration(wp.Ns), wp.NodesPerSec, wp.ThroughputX, wp.ObjAgree)
+		}
 		logPivot += math.Log(r.PivotRatio)
 		logSpeed += math.Log(r.Speedup)
 	}
@@ -137,7 +196,7 @@ func die(err error) {
 // installed, so the tree is the formulation's own — a node-throughput
 // measurement rather than a heuristic-pruning one. Pivot counts are
 // deterministic per search; wall times keep the best of reps.
-func bench(shards, servers, reps, maxNodes int, seed int64) record {
+func bench(shards, servers, reps, maxNodes int, seed int64, workerCounts []int) record {
 	inst := lb.NewInstance(shards, servers, 0.05, seed)
 	inst.ShiftLoads(seed + 1)
 	prob, _, _ := lb.BuildMILP(inst)
@@ -189,5 +248,36 @@ func bench(shards, servers, reps, maxNodes int, seed int64) record {
 	}
 	rec.WarmNodesPerSec = float64(rec.WarmNodes) / (float64(rec.WarmNs) / 1e9)
 	rec.ColdNodesPerSec = float64(rec.ColdNodes) / (float64(rec.ColdNs) / 1e9)
+
+	// Workers sweep: the warm search again at each worker count (best wall
+	// time of reps). Node counts vary with scheduling at Workers>1, so the
+	// comparison is throughput (nodes/s), normalized to workers=1.
+	var w1PerSec float64
+	var w1Obj float64
+	for _, w := range workerCounts {
+		wp := workersPoint{Workers: w, Ns: math.MaxInt64}
+		var obj float64
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			sol, err := prob.SolveWithOptions(milp.Options{MaxNodes: maxNodes, Workers: w})
+			die(err)
+			if ns := time.Since(start).Nanoseconds(); ns < wp.Ns {
+				wp.Ns = ns
+				wp.Status = sol.Status.String()
+				wp.Nodes = sol.Nodes
+				obj = sol.Objective
+			}
+		}
+		wp.NodesPerSec = float64(wp.Nodes) / (float64(wp.Ns) / 1e9)
+		if w == 1 || w1PerSec == 0 {
+			w1PerSec, w1Obj = wp.NodesPerSec, obj
+		}
+		wp.ThroughputX = wp.NodesPerSec / w1PerSec
+		// Truncated searches may hold different incumbents; the contract is
+		// on completed searches.
+		wp.ObjAgree = wp.Status != "optimal" ||
+			math.Abs(obj-w1Obj) <= 1e-6*(1+math.Abs(w1Obj))
+		rec.WorkersSweep = append(rec.WorkersSweep, wp)
+	}
 	return rec
 }

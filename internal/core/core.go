@@ -12,8 +12,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Strategy selects how clients are assigned to sub-problems.
@@ -170,7 +172,11 @@ func SplitResource[R any](resources []R, k int, scale func(r R, k int) R) [][]R 
 }
 
 // ParallelMap runs f(part) for part in [0,k), concurrently when parallel is
-// true, and returns the first error encountered.
+// true, and returns the first error (by part index) encountered. Concurrency
+// is bounded by GOMAXPROCS: a fixed pool of goroutines pulls part indices
+// from a shared counter, so a large-k POP sweep (k in the hundreds during a
+// k-sensitivity scan) costs pool-sized scheduler load instead of k
+// simultaneous goroutines, with results and error order unchanged.
 func ParallelMap(k int, parallel bool, f func(part int) error) error {
 	if !parallel || k == 1 {
 		for p := 0; p < k; p++ {
@@ -180,14 +186,25 @@ func ParallelMap(k int, parallel bool, f func(part int) error) error {
 		}
 		return nil
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, k)
-	for p := 0; p < k; p++ {
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(p int) {
+		go func() {
 			defer wg.Done()
-			errs[p] = f(p)
-		}(p)
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= k {
+					return
+				}
+				errs[p] = f(p)
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

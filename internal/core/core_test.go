@@ -4,9 +4,11 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestPartitionCoversAllClients(t *testing.T) {
@@ -198,6 +200,54 @@ func TestParallelMapRunsAll(t *testing.T) {
 		if err != nil || count != 8 {
 			t.Fatalf("parallel=%v: err=%v count=%d", parallel, err, count)
 		}
+	}
+}
+
+// TestParallelMapBoundsConcurrency drives a map far wider than the worker
+// pool and checks the peak number of simultaneously running bodies never
+// exceeds GOMAXPROCS — the pool pulls indices from a counter instead of
+// spawning one goroutine per part.
+func TestParallelMapBoundsConcurrency(t *testing.T) {
+	limit := int64(runtime.GOMAXPROCS(0))
+	var inFlight, peak int64
+	err := ParallelMap(64, true, func(p int) error {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > limit {
+		t.Fatalf("peak concurrency %d exceeds GOMAXPROCS %d", peak, limit)
+	}
+}
+
+// TestParallelMapFirstErrorByIndex pins the error-selection contract: when
+// several parts fail, the error of the lowest-indexed failing part wins,
+// regardless of completion order.
+func TestParallelMapFirstErrorByIndex(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	err := ParallelMap(16, true, func(p int) error {
+		switch p {
+		case 3:
+			time.Sleep(5 * time.Millisecond) // finishes last
+			return errLow
+		case 11:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want the lowest-indexed part's error", err)
 	}
 }
 

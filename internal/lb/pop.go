@@ -26,6 +26,13 @@ func SolvePOP(inst *Instance, opts core.Options, milpOpts milp.Options) (*Assign
 		k = m
 	}
 
+	// POP's map step and the MILP search now both parallelize; dividing the
+	// worker budget across concurrent sub-searches keeps the total thread
+	// demand at milpOpts.Workers instead of k× that.
+	if opts.Parallel && k > 1 && milpOpts.Workers > 1 {
+		milpOpts.Workers = max(1, milpOpts.Workers/k)
+	}
+
 	serverGroups := core.Partition(m, k, core.RoundRobin, opts.Seed, nil)
 	shardGroups := balancedShardPartition(inst, k, opts.Seed)
 

@@ -1,0 +1,213 @@
+package lp_test
+
+// Tests for Model.Clone (shared-matrix copy-on-write fan-out) and for basis
+// snapshot ownership: a snapshot handed out by the model (Solution.Basis,
+// Basis()) or handed in (SetBasis) must never alias the model's internal
+// warm-start state, so caller-side mutation cannot corrupt a later solve —
+// the invariant the parallel branch-and-bound's shared node snapshots rely
+// on.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pop/internal/lp"
+	"pop/internal/lp/gen"
+)
+
+// solveRebuilt solves a deep copy of the model's current state from scratch
+// — the ground truth a mutated clone must match.
+func solveRebuilt(t *testing.T, m *lp.Model) *lp.Solution {
+	t.Helper()
+	sol, err := m.CopyProblem().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func agree(t *testing.T, tag string, got, want *lp.Solution) {
+	t.Helper()
+	if got.Status != want.Status {
+		t.Fatalf("%s: status %v, rebuild %v", tag, got.Status, want.Status)
+	}
+	if want.Status == lp.Optimal && math.Abs(got.Objective-want.Objective) > 1e-6*(1+math.Abs(want.Objective)) {
+		t.Fatalf("%s: objective %.12g, rebuild %.12g", tag, got.Objective, want.Objective)
+	}
+}
+
+// TestModelCloneDivergentMutations clones a solved model, applies different
+// delta classes to original and clone (including coefficient edits, which
+// must trigger the copy-on-write split), and checks that every model always
+// re-solves to its own rebuilt ground truth — no clone ever observes
+// another's edits.
+func TestModelCloneDivergentMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		m := lp.NewModelFromProblem(gen.LB(gen.Small, int64(40+trial)))
+		if sol, err := m.Solve(); err != nil || sol.Status != lp.Optimal {
+			t.Fatalf("trial %d: root solve %v %v", trial, sol.Status, err)
+		}
+		c1 := m.Clone()
+		c2 := m.Clone()
+		nv := m.NumVariables()
+
+		// Original: bounds-only deltas (the branch-and-bound shape).
+		for k := 0; k < 3; k++ {
+			v := rng.Intn(nv)
+			m.SetBounds(v, 0, float64(rng.Intn(2)))
+		}
+		// Clone 1: coefficient edits — must copy-on-write, not corrupt m/c2.
+		for k := 0; k < 3; k++ {
+			row := rng.Intn(c1.NumConstraints())
+			c1.SetCoeff(row, rng.Intn(nv), 1+rng.Float64())
+		}
+		// Clone 2: rhs + objective deltas.
+		for k := 0; k < 3; k++ {
+			c2.SetRHS(rng.Intn(c2.NumConstraints()), 1+rng.Float64()*5)
+			c2.SetObjectiveCoeff(rng.Intn(nv), rng.NormFloat64())
+		}
+
+		for i, mm := range []*lp.Model{m, c1, c2} {
+			got, err := mm.Solve()
+			if err != nil {
+				t.Fatalf("trial %d model %d: %v", trial, i, err)
+			}
+			agree(t, "divergent clone", got, solveRebuilt(t, mm))
+		}
+	}
+}
+
+// TestModelCloneStructuralEdit drives a structural block edit through a
+// clone: the shared matrix must split instead of shifting the sibling's
+// row indices.
+func TestModelCloneStructuralEdit(t *testing.T) {
+	m := lp.NewModelFromProblem(gen.Cluster(gen.Small, 3))
+	if _, err := m.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	at := c.NumVariables() / 2
+	c.InsertVariables(at, 2, 0.5, 0, 2)
+	c.RemoveVariables(0, 1)
+
+	for i, mm := range []*lp.Model{m, c} {
+		got, err := mm.Solve()
+		if err != nil {
+			t.Fatalf("model %d: %v", i, err)
+		}
+		agree(t, "structural clone", got, solveRebuilt(t, mm))
+	}
+}
+
+// TestModelCloneConcurrentSolves is the fan-out contract under -race: many
+// clones of one model, each bound-tightened and solved in its own
+// goroutine, all land on their rebuilt ground truths.
+func TestModelCloneConcurrentSolves(t *testing.T) {
+	m := lp.NewModelFromProblem(gen.LB(gen.Small, 11))
+	if sol, err := m.Solve(); err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("root solve: %v %v", sol.Status, err)
+	}
+	const workers = 8
+	clones := make([]*lp.Model, workers)
+	for w := range clones {
+		clones[w] = m.Clone()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	objs := make([]float64, workers)
+	wants := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mm := clones[w]
+			rng := rand.New(rand.NewSource(int64(w)))
+			for k := 0; k < 2; k++ {
+				mm.SetBounds(rng.Intn(mm.NumVariables()), 0, 1)
+			}
+			got, err := mm.Solve()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			want, err := mm.CopyProblem().Solve()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			if got.Status != want.Status {
+				objs[w], wants[w] = math.NaN(), 0
+				return
+			}
+			objs[w], wants[w] = got.Objective, want.Objective
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if math.IsNaN(objs[w]) || math.Abs(objs[w]-wants[w]) > 1e-6*(1+math.Abs(wants[w])) {
+			t.Fatalf("worker %d: objective %.12g, rebuild %.12g", w, objs[w], wants[w])
+		}
+	}
+}
+
+// scribble corrupts a basis snapshot in place.
+func scribble(b *lp.Basis) {
+	for i := range b.VarStatus {
+		b.VarStatus[i] = lp.BasisBasic
+	}
+	for i := range b.SlackStatus {
+		b.SlackStatus[i] = lp.BasisUpper
+	}
+}
+
+// TestMutatedSnapshotCannotCorruptSolve is the basis-aliasing regression
+// test: scribbling over every snapshot the model ever handed out — the
+// solve's Solution.Basis, Basis(), and the caller's own copy passed to
+// SetBasis — must not change any later solve's outcome, and the installed
+// warm start must still engage.
+func TestMutatedSnapshotCannotCorruptSolve(t *testing.T) {
+	m := lp.NewModelFromProblem(gen.LB(gen.Small, 23))
+	sol, err := m.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("root solve: %v %v", sol.Status, err)
+	}
+	keep := m.Basis()
+	if keep == nil || sol.Basis == nil {
+		t.Fatal("no snapshots after an optimal solve")
+	}
+
+	// Corrupt the returned snapshots, then re-solve a perturbed model: the
+	// stored warm state must be untouched by the scribbling.
+	scribble(sol.Basis)
+	snap := m.Basis()
+	scribble(snap)
+	m.SetBounds(0, 0, 0)
+	got, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree(t, "after scribbled returns", got, solveRebuilt(t, m))
+	if got.Status == lp.Optimal && !got.WarmStarted {
+		t.Fatal("warm start lost after caller-side snapshot mutation")
+	}
+
+	// Install a good snapshot, then corrupt the caller's copy afterwards:
+	// clone-on-install means the solve still starts from the good statuses.
+	m.SetBasis(keep)
+	scribble(keep)
+	m.SetBounds(0, 0, 1)
+	got, err = m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree(t, "after scribbled install", got, solveRebuilt(t, m))
+	if got.Status == lp.Optimal && !got.WarmStarted {
+		t.Fatal("clone-on-install lost the warm start")
+	}
+}

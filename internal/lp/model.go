@@ -25,14 +25,22 @@ import (
 // Every re-solve path falls back (primal warm, then cold) inside the
 // solver, so mutate-then-resolve always returns the same status and
 // objective as building the current state from scratch and solving cold —
-// only faster. A Model is not safe for concurrent use; clone the underlying
-// problem (CopyProblem) to fan out.
+// only faster. A Model is not safe for concurrent use; Clone gives each
+// goroutine its own cheap copy (mutable state is copied, the coefficient
+// matrix is shared copy-on-write) for fan-out.
 type Model struct {
 	p        *Problem
 	std      *standardized
 	stdDirty bool // std no longer matches p structurally; rebuild at solve
 
-	basis *Basis // last optimal basis, spliced across structural edits
+	// sharedMatrix marks the coefficient arrays (builder row idx/val and the
+	// standardized CSC) as shared with other clones: they may be read by any
+	// clone concurrently but must be copied (ensureOwnedMatrix) before this
+	// model writes to them. Bounds, rhs, objective, and basis state are
+	// always private to one model.
+	sharedMatrix bool
+
+	basis *Basis // last optimal basis (model-owned copy), spliced across structural edits
 	// Delta classes applied since basis was taken. rhs/bound edits need no
 	// flag: the dual path is eligible whenever neither of these is set.
 	sinceCoeff  bool // A or c values changed
@@ -62,6 +70,71 @@ func NewModelFromProblem(p *Problem) *Model {
 // plain Problem — the "fresh build" twin the mutation-equivalence tests
 // solve cold to cross-check mutate-then-resolve.
 func (m *Model) CopyProblem() *Problem { return m.p.Clone() }
+
+// Clone returns an independent model over the same current state, built for
+// fan-out: per-model mutable state (bounds, objective, rhs, basis, delta
+// bookkeeping, and the standardized bound/cost/rhs vectors the solver
+// shifts during warm repair) is copied, while the coefficient matrix — the
+// builder rows' index/value arrays and the standardized CSC structure, by
+// far the bulk of a model — is shared between the clones. The share is
+// copy-on-write: the first coefficient or structural edit on either model
+// materializes a private copy, so clones never observe each other's edits.
+//
+// A cloned model re-solves exactly like the original (same standardized
+// cache, same warm basis), which is what the parallel branch-and-bound
+// leans on: one clone per worker, each applying its own bound deltas and
+// basis snapshots concurrently. Each clone is still single-threaded; the
+// only safe concurrency is different goroutines using different clones.
+func (m *Model) Clone() *Model {
+	q := &Model{
+		p: &Problem{
+			objective: m.p.objective,
+			obj:       append([]float64(nil), m.p.obj...),
+			lb:        append([]float64(nil), m.p.lb...),
+			ub:        append([]float64(nil), m.p.ub...),
+			varNames:  append([]string(nil), m.p.varNames...),
+			rows:      append([]row(nil), m.p.rows...),
+			rowNames:  append([]string(nil), m.p.rowNames...),
+			nnz:       m.p.nnz,
+		},
+		stdDirty:    m.stdDirty,
+		basis:       m.basis.Clone(),
+		sinceCoeff:  m.sinceCoeff,
+		sinceStruct: m.sinceStruct,
+	}
+	if m.std != nil {
+		std := *m.std
+		std.c = append([]float64(nil), m.std.c...)
+		std.lb = append([]float64(nil), m.std.lb...)
+		std.ub = append([]float64(nil), m.std.ub...)
+		std.b = append([]float64(nil), m.std.b...)
+		q.std = &std
+	}
+	m.sharedMatrix = true
+	q.sharedMatrix = true
+	return q
+}
+
+// ensureOwnedMatrix materializes a private copy of the coefficient arrays
+// shared with other clones. Called before any write to builder row idx/val
+// storage or the standardized CSC; a no-op for a model that already owns
+// its matrix.
+func (m *Model) ensureOwnedMatrix() {
+	if !m.sharedMatrix {
+		return
+	}
+	m.sharedMatrix = false
+	for i := range m.p.rows {
+		r := &m.p.rows[i]
+		r.idx = append([]int(nil), r.idx...)
+		r.val = append([]float64(nil), r.val...)
+	}
+	if m.std != nil {
+		m.std.colPtr = append([]int32(nil), m.std.colPtr...)
+		m.std.rowInd = append([]int32(nil), m.std.rowInd...)
+		m.std.values = append([]float64(nil), m.std.values...)
+	}
+}
 
 // NumVariables reports the number of variables currently in the model.
 func (m *Model) NumVariables() int { return m.p.NumVariables() }
@@ -97,11 +170,12 @@ func (m *Model) HasBasis() bool { return m.basis != nil }
 // loses to a fresh phase 1) use this; it never changes solve outcomes.
 func (m *Model) ForgetBasis() { m.basis = nil }
 
-// Basis returns the basis snapshot the next solve would warm-start from
-// (the last optimal solve's basis, or whatever SetBasis installed), or nil
-// when the model holds none. The snapshot is shared, not copied; callers
-// must treat it as immutable (Clone it before editing).
-func (m *Model) Basis() *Basis { return m.basis }
+// Basis returns a copy of the basis snapshot the next solve would
+// warm-start from (the last optimal solve's basis, or whatever SetBasis
+// installed), or nil when the model holds none. The copy is the caller's
+// to keep or mutate; the model's own warm-start state cannot be reached
+// through it.
+func (m *Model) Basis() *Basis { return m.basis.Clone() }
 
 // SetBasis installs a basis snapshot as the warm-start state for the next
 // solve, replacing whatever the model currently holds (nil is ForgetBasis).
@@ -115,9 +189,12 @@ func (m *Model) Basis() *Basis { return m.basis }
 // model last stored a basis, which is exactly the bound-tightening-only
 // regime of a branch-and-bound search. A snapshot that turns out not to fit
 // the current state is rejected inside the solver (dual → primal warm →
-// cold), so SetBasis never changes solve outcomes. The snapshot is retained
-// as-is, not copied; callers must not mutate it afterwards.
-func (m *Model) SetBasis(b *Basis) { m.basis = b }
+// cold), so SetBasis never changes solve outcomes. The snapshot is cloned
+// on install: the model never retains the caller's pointer, so one
+// snapshot can be installed into any number of models (the parallel
+// search's workers install the same parent snapshot concurrently) and
+// later caller-side mutation of it cannot corrupt a solve.
+func (m *Model) SetBasis(b *Basis) { m.basis = b.Clone() }
 
 // AddVariable appends a variable with objective coefficient c and bounds
 // [lb, ub], returning its index.
@@ -172,6 +249,7 @@ func (m *Model) InsertVariables(at, n int, c, lb, ub float64) int {
 	if at == nv {
 		return m.AddVariables(n, c, lb, ub)
 	}
+	m.ensureOwnedMatrix() // row idx entries shift in place below
 	p := m.p
 	p.obj = slices.Insert(p.obj, at, slices.Repeat([]float64{c}, n)...)
 	p.lb = slices.Insert(p.lb, at, slices.Repeat([]float64{lb}, n)...)
@@ -204,6 +282,7 @@ func (m *Model) RemoveVariables(at, n int) {
 	if n == 0 {
 		return
 	}
+	m.ensureOwnedMatrix() // rows are compacted in place below
 	p := m.p
 	p.obj = slices.Delete(p.obj, at, at+n)
 	p.lb = slices.Delete(p.lb, at, at+n)
@@ -349,6 +428,7 @@ func (m *Model) SetCoeff(row, v int, coef float64) {
 		if coef == 0 {
 			return
 		}
+		m.ensureOwnedMatrix()
 		r.idx = append(r.idx, v)
 		r.val = append(r.val, coef)
 		m.p.nnz++
@@ -359,6 +439,7 @@ func (m *Model) SetCoeff(row, v int, coef float64) {
 	if cur == coef {
 		return
 	}
+	m.ensureOwnedMatrix()
 	r.val[first] = coef
 	for t := first + 1; t < len(r.idx); t++ {
 		if r.idx[t] == v {
@@ -422,7 +503,15 @@ func (m *Model) SetCoeffs(row int, idx []int, val []float64) {
 		cur[id] += r.val[t]
 	}
 	// Pass 2: apply changes — first occurrence carries the value, duplicate
-	// occurrences are zeroed, absent nonzeros append as fill-ins.
+	// occurrences are zeroed, absent nonzeros append as fill-ins. A matrix
+	// shared with clones is copied first, but only when something actually
+	// changes (pure no-op refreshes stay free).
+	for id, w := range want {
+		if c, present := cur[id]; (present && c != w) || (!present && w != 0) {
+			m.ensureOwnedMatrix()
+			break
+		}
+	}
 	fresh := m.freshStd()
 	changed := false
 	for t, id := range r.idx {
@@ -524,7 +613,12 @@ func (m *Model) SolveWithOptions(opts Options) (*Solution, error) {
 		sol = m.run(opts)
 	}
 	if sol.Status == Optimal && sol.Basis != nil {
-		m.basis = sol.Basis
+		// Keep a private copy: Solution.Basis belongs to the caller (node
+		// snapshots in a branch-and-bound tree outlive many re-solves), and
+		// the model's structural edits splice its stored basis in place —
+		// retaining the caller's pointer would let those edits corrupt the
+		// caller's snapshot, and vice versa.
+		m.basis = sol.Basis.Clone()
 		m.sinceCoeff = false
 		m.sinceStruct = false
 	} else if sol.Status != Optimal {

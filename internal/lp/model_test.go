@@ -3,6 +3,7 @@ package lp_test
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"pop/internal/lp"
@@ -471,8 +472,9 @@ func TestModelSetBasisSearchTreePattern(t *testing.T) {
 		m.SetBounds(v, 0, 1)
 	}
 	m.SetBasis(snapshot)
-	if m.Basis() != snapshot {
-		t.Fatal("Basis() does not return the installed snapshot")
+	if got := m.Basis(); got == nil || len(got.VarStatus) != len(snapshot.VarStatus) ||
+		!slices.Equal(got.VarStatus, snapshot.VarStatus) || !slices.Equal(got.SlackStatus, snapshot.SlackStatus) {
+		t.Fatal("Basis() does not return the installed snapshot's statuses")
 	}
 	m.SetBounds((touched[0]+1)%nv, 1, 1)
 	jump := check("jump")

@@ -132,6 +132,22 @@ func (p *Problem) ObjectiveSense() Objective { return p.objective }
 // Bounds returns the current bounds of variable v.
 func (p *Problem) Bounds(v int) (lb, ub float64) { return p.lb[v], p.ub[v] }
 
+// ObjectiveCoeff returns the objective coefficient of variable v.
+func (p *Problem) ObjectiveCoeff(v int) float64 { return p.obj[v] }
+
+// Constraint returns copies of row i's index/value lists plus its sense and
+// right-hand side. Duplicate indices from construction are preserved as
+// stored (consumers that need merged coefficients must sum them). It is the
+// read half of AddConstraint, used by transformation passes (e.g. the MILP
+// presolve) that rebuild a reduced problem through the builder API.
+func (p *Problem) Constraint(i int) (idx []int, val []float64, sense Sense, rhs float64) {
+	r := p.rows[i]
+	return append([]int(nil), r.idx...), append([]float64(nil), r.val...), r.sense, r.rhs
+}
+
+// ConstraintName returns the name row i was added with (may be empty).
+func (p *Problem) ConstraintName(i int) string { return p.rowNames[i] }
+
 // AddVariable adds a variable with objective coefficient c and bounds
 // [lb, ub], returning its index. Use -Inf / +Inf for unbounded sides.
 // name may be empty; it is only used in diagnostics.

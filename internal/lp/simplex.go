@@ -134,38 +134,63 @@ func (s *simplex) solve() *Solution {
 			s.resetStart()
 		}
 	}
-	if !s.warmStarted {
-		s.initPhase1()
+	for {
+		if !s.warmStarted {
+			s.initPhase1()
 
-		if !s.initialFeasible() {
-			st := s.iterate()
-			if st == IterLimit || st == Numerical {
-				return s.failure(st)
-			}
-			if s.phase1Objective() > 1e2*s.opts.TolFeas*float64(1+s.m) {
-				return s.failure(Infeasible)
+			if !s.initialFeasible() {
+				st := s.iterate()
+				if st == IterLimit || st == Numerical {
+					return s.failure(st)
+				}
+				if s.phase1Objective() > 1e2*s.opts.TolFeas*float64(1+s.m) {
+					return s.failure(Infeasible)
+				}
 			}
 		}
-	}
 
-	// Phase 2: real costs; artificials are pinned to [0,0] by ubOf.
-	s.phase = 2
-	for j := s.artStart; j < s.artStart+s.m; j++ {
-		s.cost[j] = 0
-		if s.status[j] != statBasic {
-			s.status[j] = statLower
-			s.x[j] = 0
+		// Phase 2: real costs; artificials are pinned to [0,0] by ubOf.
+		s.phase = 2
+		for j := s.artStart; j < s.artStart+s.m; j++ {
+			s.cost[j] = 0
+			if s.status[j] != statBasic {
+				s.status[j] = statLower
+				s.x[j] = 0
+			}
+		}
+		copy(s.cost, s.std.c)
+		s.degenerateRun = 0
+		s.blandMode = s.opts.BlandOnly
+
+		st := s.iterate()
+		if st == Optimal && !s.solutionFinite() {
+			st = Numerical // NaN/Inf iterate: optimality tests passed vacuously
+		}
+		if st != Optimal {
+			if s.warmStarted && st == Numerical {
+				// A stale warm basis drove the iteration into numerical
+				// breakdown; retry once from the cold all-artificial start,
+				// exactly as if no snapshot had been supplied.
+				s.resetStart()
+				continue
+			}
+			return s.failure(st)
+		}
+		return s.extract()
+	}
+}
+
+// solutionFinite reports whether every structural and slack value is finite.
+// A near-singular basis can inject NaN/Inf into s.x mid-iteration, after
+// which bound and reduced-cost comparisons pass vacuously and iterate()
+// reports a bogus Optimal.
+func (s *simplex) solutionFinite() bool {
+	for j := 0; j < s.ncols; j++ {
+		if math.IsNaN(s.x[j]) || math.IsInf(s.x[j], 0) {
+			return false
 		}
 	}
-	copy(s.cost, s.std.c)
-	s.degenerateRun = 0
-	s.blandMode = s.opts.BlandOnly
-
-	st := s.iterate()
-	if st != Optimal {
-		return s.failure(st)
-	}
-	return s.extract()
+	return true
 }
 
 // resetStart returns the solver to a pristine pre-start state after a

@@ -241,6 +241,12 @@ func (s *simplex) installBasis(b *Basis) bool {
 func (s *simplex) maxBoundViolation() float64 {
 	worst := 0.0
 	for _, j := range s.basis {
+		if math.IsNaN(s.x[j]) || math.IsInf(s.x[j], 0) {
+			// A nonfinite basic value (near-singular stale basis) would pass
+			// every `v > worst` comparison vacuously; force the repair path,
+			// which rejects it.
+			return math.Inf(1)
+		}
 		lb, ub := s.lbOf(j), s.ubOf(j)
 		if v := lb - s.x[j]; v > worst {
 			worst = v
@@ -274,6 +280,9 @@ func (s *simplex) warmRepair() bool {
 		// Read-only pass: measure the remaining violation.
 		viol, count := 0.0, 0
 		for j := 0; j < s.ncols; j++ {
+			if math.IsNaN(s.x[j]) || math.IsInf(s.x[j], 0) {
+				return false // nonfinite state is beyond repair: cold restart
+			}
 			if v := s.std.lb[j] - s.x[j]; v > tol {
 				viol += v
 				count++

@@ -1,40 +1,56 @@
 // Package milp implements a mixed-integer linear-programming solver by
-// branch and bound over the LP relaxations provided by package lp.
+// parallel branch and bound over the LP relaxations provided by package lp.
 //
-// The search keeps one persistent lp.Model per solve instead of re-building
-// (or mutate-and-restoring) an LP per node: the root relaxation standardizes
-// and factors once, and every subsequent node applies its branching bounds
-// as in-place SetBounds deltas on that model. A child node differs from its
-// parent by a single variable-bound tightening — exactly the delta shape the
-// dual simplex re-solves from a still-dual-feasible basis — so each node
-// installs its parent's optimal basis snapshot (nodes carry one; SetBasis
-// restores it) and re-solves in a handful of dual pivots. Depth-first
-// plunging explores the most recently branched child first, keeping the
-// installed basis one bound-change away from the solve before it; when a
-// plunge fathoms, the search jumps to the globally best-bound open node,
-// whose carried snapshot makes the jump warm rather than cold. The root
-// rounding heuristic re-solves through the same model with the integer
-// variables fixed, warm from the root basis.
+// The search is a coordinator/worker design. A central coordinator owns the
+// mutex-protected open heap (ordered by most promising bound), the
+// incumbent, the pseudo-cost branching table, and the termination latch;
+// each of Options.Workers goroutines owns a private clone of the persistent
+// lp.Model. Clones are cheap — lp.Model.Clone shares the immutable
+// constraint matrix copy-on-write and copies only mutable state (bounds,
+// basis, and the applied-delta bookkeeping lives here in the worker) — so
+// worker count scales with CPUs, not with problem size.
+//
+// Each worker loops: steal the best-bound open node (or take its own plunge
+// child), apply the node's bound deltas to its model in place, install the
+// node's carried basis snapshot, solve, and hand the result back to the
+// coordinator, which updates pseudo-costs, accepts integer-feasible points
+// as incumbents, fathoms against the combined absolute+relative gap cutoff,
+// or branches. A child node differs from its parent by a single
+// variable-bound tightening — exactly the delta shape the dual simplex
+// re-solves from a still-dual-feasible basis — so every node carries its
+// parent's optimal basis snapshot and restarts warm in a handful of dual
+// pivots on whichever worker steals it (SetBasis clones on install, so a
+// snapshot shared by both children and several workers is never observed
+// mid-mutation). Depth-first plunging keeps each worker's model one bound
+// change away from its previous solve; a best-bound steal from the heap
+// jumps warm off the carried snapshot.
+//
+// Branching is pseudo-cost seeded by most-fractional: per-variable
+// objective degradations per unit of fractionality are learned from solved
+// children, and before any observations exist the selection reduces to the
+// most-fractional rule. A light presolve pass (integer bound rounding,
+// fixed-variable substitution, empty/constant-row elimination) runs once
+// before the root relaxation. The root rounding heuristic re-solves through
+// worker 0's model warm from the root basis; heuristic re-solves are booked
+// as SearchStats.HeuristicSolves and never consume the MaxNodes budget.
 //
 // Warm starts never change outcomes: an ineligible or failed dual start
 // falls back to the primal warm path and then to a cold solve inside lp, so
-// statuses and objectives match a cold-per-node search exactly (the
-// persistent_test.go property suite holds the two searches to the same
-// status, objective, and incumbent feasibility; Options.ColdNodes selects
-// the cold baseline). Solution embeds SearchStats — warm/cold node counts,
-// primal/dual pivot totals, and a build-vs-pivot time split — so callers
-// can attribute where a search spent its time.
+// statuses and objectives match a cold-per-node search exactly
+// (Options.ColdNodes selects the cold baseline, and the property suites
+// hold warm vs cold and every worker count to the same status, objective,
+// and incumbent feasibility; node and pivot counts vary with timing at
+// Workers>1, while Workers=1 is deterministic run to run). Solution embeds
+// SearchStats so callers can attribute where a search spent its time.
 //
-// Branching is most-fractional; termination criteria are absolute/relative
-// gap, node limit, and wall-clock limit. This is what the load-balancing
-// case study (§4.3 of the POP paper) uses: its formulation is a small MILP
-// whose exponential solve time motivates POP in the first place.
+// Termination criteria are absolute/relative gap, node limit, and
+// wall-clock limit. This is what the load-balancing case study (§4.3 of the
+// POP paper) uses: its formulation is a small MILP whose exponential solve
+// time motivates POP in the first place.
 package milp
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -84,7 +100,15 @@ func (p *Problem) NumInteger() int { return len(p.integer) }
 
 // Options tune the branch-and-bound search.
 type Options struct {
-	// MaxNodes bounds explored nodes; 0 means 200000.
+	// Workers is the number of branch-and-bound worker goroutines; 0 means
+	// 1. Each worker owns a cheap clone of the persistent model and steals
+	// best-bound nodes from the shared open heap. Any worker count produces
+	// the same status and objective (to solver tolerance); node and pivot
+	// counts vary with scheduling at Workers>1, while Workers=1 is
+	// deterministic run to run.
+	Workers int
+	// MaxNodes bounds explored nodes (heuristic re-solves excluded); 0
+	// means 200000.
 	MaxNodes int
 	// TimeLimit bounds wall-clock time; 0 means no limit.
 	TimeLimit time.Duration
@@ -115,6 +139,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 200000
 	}
@@ -165,11 +192,16 @@ func (s Status) String() string {
 
 // SearchStats is the branch-and-bound accounting: how many node relaxations
 // were solved, how many of them actually started warm, and where the time
-// went. It mirrors online.Stats' build-vs-pivot split so BENCH rows across
-// the repository attribute time the same way.
+// went. At Workers>1 each worker accumulates privately and the totals are
+// merged in worker order on exit. It mirrors online.Stats' build-vs-pivot
+// split so BENCH rows across the repository attribute time the same way.
 type SearchStats struct {
-	// Nodes counts solved node relaxations (including rounding re-solves).
-	Nodes int
+	// Nodes counts solved node relaxations. HeuristicSolves counts LP
+	// re-solves made by primal heuristics (root rounding); they are booked
+	// separately and do not count against Options.MaxNodes, so a tiny node
+	// budget cannot be exhausted before branching starts.
+	Nodes           int
+	HeuristicSolves int
 	// LPPivots is the total simplex pivots across all node relaxations;
 	// DualPivots is the subset taken by the dual simplex phase on the
 	// bound-only node deltas.
@@ -181,13 +213,16 @@ type SearchStats struct {
 	// neither bucket.
 	WarmNodes, ColdFallbacks int
 	// BuildNs is time spent mutating the persistent model (bound deltas,
-	// basis snapshots); SolveNs is time spent inside the LP solver.
+	// basis snapshots); SolveNs is time spent inside the LP solver. At
+	// Workers>1 these are CPU-time sums across workers, not wall clock.
 	BuildNs, SolveNs int64
 }
 
-// Add accumulates other into s (POP sums its sub-searches this way).
+// Add accumulates other into s (POP sums its sub-searches this way, and the
+// coordinator merges per-worker stats the same way).
 func (s *SearchStats) Add(other SearchStats) {
 	s.Nodes += other.Nodes
+	s.HeuristicSolves += other.HeuristicSolves
 	s.LPPivots += other.LPPivots
 	s.DualPivots += other.DualPivots
 	s.WarmNodes += other.WarmNodes
@@ -214,6 +249,10 @@ type Solution struct {
 	SearchStats
 }
 
+// node is one open subproblem of the branch-and-bound tree. Nodes are
+// created under the coordinator lock and solved by exactly one worker, so
+// the struct needs no synchronization of its own; the basis snapshot may be
+// shared between siblings because SetBasis clones on install.
 type node struct {
 	// Extra bounds imposed by branching, keyed by variable.
 	lb, ub map[int]float64
@@ -223,6 +262,12 @@ type node struct {
 	// LP differs from the parent's by one bound tightening, so the snapshot
 	// is still dual feasible and the dual simplex restarts from it.
 	basis *lp.Basis
+	// Pseudo-cost bookkeeping: the variable the parent branched on to
+	// create this node, the fractional distance moved, and the direction.
+	// pcVar is -1 for the root and heuristic nodes.
+	pcVar  int
+	pcDist float64
+	pcUp   bool
 }
 
 // nodeHeap orders nodes by most promising bound (max-heap on bound for
@@ -241,35 +286,6 @@ func (h *nodeHeap) Pop() any {
 	return it
 }
 
-type solver struct {
-	prob     *Problem
-	opts     Options
-	maximize bool
-	deadline time.Time
-
-	// model is the one persistent LP of the whole search: built from a deep
-	// copy of prob.LP (the original is never touched), standardized once,
-	// then mutated in place per node. applied tracks which variables
-	// currently carry node bounds, so switching nodes resets exactly the
-	// stale ones.
-	model   *lp.Model
-	applied map[int]bool
-
-	baseLB, baseUB []float64 // original bounds snapshot
-	intVars        []int     // integer variables in ascending order
-
-	// dive is the preferred child of the last branched node, explored next
-	// (depth-first plunging) before the heap's best-bound node.
-	dive *node
-
-	incumbent    []float64
-	incumbentObj float64 // in maximization orientation
-	haveInc      bool
-
-	rootBasis *lp.Basis
-	stats     SearchStats
-}
-
 // Solve runs branch and bound with default options.
 func (p *Problem) Solve() (*Solution, error) {
 	return p.SolveWithOptions(Options{})
@@ -280,181 +296,11 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	if p.LP.NumVariables() == 0 {
 		return nil, fmt.Errorf("milp: model has no variables")
 	}
-	s := &solver{prob: p, opts: opts.withDefaults()}
+	s := &search{prob: p, opts: opts.withDefaults()}
 	if s.opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(s.opts.TimeLimit)
 	}
 	return s.run()
-}
-
-// orient converts an LP objective (original orientation) into the internal
-// maximization orientation.
-func (s *solver) orient(v float64) float64 {
-	if s.maximize {
-		return v
-	}
-	return -v
-}
-
-func (s *solver) run() (*Solution, error) {
-	p := s.prob
-	s.maximize = p.LP.ObjectiveSense() == lp.Maximize
-	// A sorted branching order makes the whole search deterministic (map
-	// iteration would jitter tie-breaks, and with them node and pivot
-	// counts, run to run).
-	s.intVars = make([]int, 0, len(p.integer))
-	for v := range p.integer {
-		s.intVars = append(s.intVars, v)
-	}
-	sort.Ints(s.intVars)
-	s.snapshotBounds()
-	s.model = lp.NewModelFromProblem(p.LP)
-	s.applied = map[int]bool{}
-	s.incumbentObj = math.Inf(-1)
-
-	root := &node{lb: map[int]float64{}, ub: map[int]float64{}, bound: math.Inf(1)}
-	if !s.opts.ColdNodes {
-		root.basis = s.opts.RootBasis
-	}
-	rootSol, err := s.solveRelaxation(root)
-	if err != nil {
-		return nil, err
-	}
-	switch rootSol.Status {
-	case lp.Infeasible:
-		return s.finish(Infeasible, 0), nil
-	case lp.Unbounded:
-		return s.finish(Unbounded, 0), nil
-	case lp.Optimal:
-	default:
-		return s.finish(Unknown, 0), nil
-	}
-	s.rootBasis = rootSol.Basis
-
-	// Warm start from a caller-provided incumbent, if valid.
-	s.tryIncumbent()
-
-	// Root rounding heuristic: round the relaxation to the nearest integer
-	// point and re-solve the continuous rest with integers fixed.
-	s.tryRounding(rootSol)
-
-	open := &nodeHeap{}
-	heap.Init(open)
-	root.bound = s.orient(rootSol.Objective)
-	s.expandOrAccept(open, root, rootSol)
-
-	for s.dive != nil || open.Len() > 0 {
-		if s.haveInc && s.gapClosed(open) {
-			break
-		}
-		if s.stopEarly() {
-			return s.finish(Feasible, s.bestBound(open)), nil
-		}
-		n := s.nextNode(open)
-		if s.haveInc && n.bound <= s.incumbentObj+s.opts.AbsGap {
-			continue // fathomed by bound
-		}
-		sol, err := s.solveRelaxation(n)
-		if err != nil {
-			return nil, err
-		}
-		if sol.Status != lp.Optimal {
-			continue // infeasible subtree (unbounded cannot appear below root)
-		}
-		n.bound = s.orient(sol.Objective)
-		if s.haveInc && n.bound <= s.incumbentObj+s.opts.AbsGap {
-			continue
-		}
-		s.expandOrAccept(open, n, sol)
-	}
-
-	if !s.haveInc {
-		return s.finish(Infeasible, 0), nil
-	}
-	return s.finish(Optimal, s.incumbentObj), nil
-}
-
-// nextNode takes the plunge child when one is pending — its parent solved
-// last, so the model's bounds and basis are one branching step away — and
-// otherwise pops the best-bound node, whose carried basis snapshot makes
-// the jump warm.
-func (s *solver) nextNode(open *nodeHeap) *node {
-	if s.dive != nil {
-		n := s.dive
-		s.dive = nil
-		return n
-	}
-	return heap.Pop(open).(*node)
-}
-
-// bestBound is the most optimistic bound over all unexplored nodes.
-func (s *solver) bestBound(open *nodeHeap) float64 {
-	bound := math.Inf(-1)
-	if s.dive != nil {
-		bound = s.dive.bound
-	}
-	if open.Len() > 0 && (*open)[0].bound > bound {
-		bound = (*open)[0].bound
-	}
-	if math.IsInf(bound, -1) {
-		bound = s.incumbentObj
-	}
-	return bound
-}
-
-func (s *solver) gapClosed(open *nodeHeap) bool {
-	if s.dive == nil && open.Len() == 0 {
-		return true
-	}
-	gap := s.bestBound(open) - s.incumbentObj
-	return gap <= s.opts.AbsGap || gap <= s.opts.RelGap*math.Max(1, math.Abs(s.incumbentObj))
-}
-
-func (s *solver) stopEarly() bool {
-	if s.stats.Nodes >= s.opts.MaxNodes {
-		return true
-	}
-	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		return true
-	}
-	return false
-}
-
-// expandOrAccept either records an integer-feasible relaxation as the new
-// incumbent or branches on the most fractional variable. Both children
-// carry the relaxation's basis snapshot; the child the fractional value
-// leans toward becomes the plunge target, the other joins the open heap.
-func (s *solver) expandOrAccept(open *nodeHeap, n *node, sol *lp.Solution) {
-	_, v := s.mostFractional(sol.X)
-	if v < 0 {
-		// Integer feasible.
-		obj := s.orient(sol.Objective)
-		if obj > s.incumbentObj {
-			s.incumbentObj = obj
-			s.incumbent = append([]float64(nil), sol.X...)
-			s.haveInc = true
-		}
-		return
-	}
-	x := sol.X[v]
-	floor := math.Floor(x)
-
-	down := &node{lb: copyMap(n.lb), ub: copyMap(n.ub), bound: n.bound, depth: n.depth + 1, basis: sol.Basis}
-	tightenUB(down, v, floor)
-	up := &node{lb: copyMap(n.lb), ub: copyMap(n.ub), bound: n.bound, depth: n.depth + 1, basis: sol.Basis}
-	tightenLB(up, v, floor+1)
-
-	// Plunge toward the side the fractional value leans to; the other child
-	// waits on the heap with its basis snapshot for a warm best-bound jump.
-	// nextNode cleared s.dive before this node was solved, so the slot is
-	// free.
-	if x-floor >= 0.5 {
-		s.dive = up
-		heap.Push(open, down)
-	} else {
-		s.dive = down
-		heap.Push(open, up)
-	}
 }
 
 func tightenUB(n *node, v int, val float64) {
@@ -477,189 +323,11 @@ func copyMap(m map[int]float64) map[int]float64 {
 	return out
 }
 
-// mostFractional returns (fractionality, variable) of the integer variable
-// farthest from integrality, or (0, -1) if all are integral.
-func (s *solver) mostFractional(x []float64) (float64, int) {
-	best, bestV := s.opts.IntTol, -1
-	for _, v := range s.intVars {
-		f := math.Abs(x[v] - math.Round(x[v]))
-		if f > best {
-			best = f
-			bestV = v
-		}
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, v)
 	}
-	return best, bestV
-}
-
-// solveRelaxation solves the LP relaxation under the node's extra bounds:
-// the node's bound deltas are applied to the persistent model in place, the
-// node's carried basis snapshot is installed (bound-only deltas keep it
-// dual feasible, so the dual simplex settles it in a few pivots; an
-// ineligible snapshot falls back primal-warm→cold inside lp), and the
-// re-solve is booked into the search stats.
-func (s *solver) solveRelaxation(n *node) (*lp.Solution, error) {
-	t0 := time.Now()
-	s.applyBounds(n)
-	warm := false
-	if s.opts.ColdNodes || n.basis == nil {
-		s.model.ForgetBasis()
-	} else {
-		s.model.SetBasis(n.basis)
-		warm = true
-	}
-	s.stats.BuildNs += time.Since(t0).Nanoseconds()
-	s.stats.Nodes++
-
-	t0 = time.Now()
-	sol, err := s.model.SolveWithOptions(s.opts.LP)
-	s.stats.SolveNs += time.Since(t0).Nanoseconds()
-	if err != nil {
-		return nil, err
-	}
-	s.stats.LPPivots += sol.Iterations
-	s.stats.DualPivots += sol.DualPivots
-	if warm {
-		if sol.WarmStarted {
-			s.stats.WarmNodes++
-		} else {
-			s.stats.ColdFallbacks++
-		}
-	}
-	return sol, nil
-}
-
-func (s *solver) snapshotBounds() {
-	nv := s.prob.LP.NumVariables()
-	s.baseLB = make([]float64, nv)
-	s.baseUB = make([]float64, nv)
-	for v := 0; v < nv; v++ {
-		lb, ub := s.prob.LP.Bounds(v)
-		s.baseLB[v] = lb
-		s.baseUB[v] = ub
-	}
-}
-
-// applyBounds switches the persistent model from the previous node's bounds
-// to n's: variables the previous node tightened but n does not return to
-// their base bounds, and n's tightenings are applied (SetBounds no-ops on
-// unchanged values, so a parent→child plunge costs one real edit).
-func (s *solver) applyBounds(n *node) {
-	for v := range s.applied {
-		_, inLB := n.lb[v]
-		_, inUB := n.ub[v]
-		if inLB || inUB {
-			continue
-		}
-		s.model.SetBounds(v, s.baseLB[v], s.baseUB[v])
-		delete(s.applied, v)
-	}
-	// Branching tightens lb upward and ub downward around fractional LP
-	// values inside the current domain, so lb ≤ ub always holds; the clamps
-	// below are purely defensive.
-	for v, lb := range n.lb {
-		ub := s.baseUB[v]
-		if u, ok := n.ub[v]; ok && u < ub {
-			ub = u
-		}
-		if lb > ub {
-			lb = ub
-		}
-		s.model.SetBounds(v, lb, ub)
-		s.applied[v] = true
-	}
-	for v, ub := range n.ub {
-		if _, done := n.lb[v]; done {
-			continue
-		}
-		lb := s.baseLB[v]
-		if ub < lb {
-			ub = lb
-		}
-		s.model.SetBounds(v, lb, ub)
-		s.applied[v] = true
-	}
-}
-
-// tryIncumbent validates and installs the caller-provided warm start. It
-// judges feasibility against the original problem, whose bounds the
-// persistent model's node deltas never touch.
-func (s *solver) tryIncumbent() {
-	x := s.opts.Incumbent
-	if x == nil {
-		return
-	}
-	if err := s.prob.LP.CheckFeasible(x, 1e-6); err != nil {
-		return
-	}
-	for _, v := range s.intVars {
-		if math.Abs(x[v]-math.Round(x[v])) > s.opts.IntTol {
-			return
-		}
-	}
-	obj := s.orient(s.prob.LP.Value(x))
-	if obj > s.incumbentObj {
-		s.incumbentObj = obj
-		s.incumbent = append([]float64(nil), x...)
-		s.haveInc = true
-	}
-}
-
-// tryRounding rounds the root relaxation and accepts it if feasible: all
-// integer vars are fixed at rounded values and the continuous LP re-solved
-// through the same persistent model, warm from the root basis.
-func (s *solver) tryRounding(rootSol *lp.Solution) {
-	if len(s.prob.integer) == 0 {
-		return
-	}
-	for _, round := range []func(float64) float64{math.Round, math.Floor} {
-		fixed := &node{lb: map[int]float64{}, ub: map[int]float64{}, basis: rootSol.Basis}
-		for _, v := range s.intVars {
-			r := round(rootSol.X[v])
-			if r < s.baseLB[v] {
-				r = math.Ceil(s.baseLB[v])
-			}
-			if r > s.baseUB[v] {
-				r = math.Floor(s.baseUB[v])
-			}
-			fixed.lb[v] = r
-			fixed.ub[v] = r
-		}
-		sol, err := s.solveRelaxation(fixed)
-		if err != nil || sol.Status != lp.Optimal {
-			continue
-		}
-		obj := s.orient(sol.Objective)
-		if obj > s.incumbentObj {
-			s.incumbentObj = obj
-			s.incumbent = append([]float64(nil), sol.X...)
-			s.haveInc = true
-		}
-		return
-	}
-}
-
-func (s *solver) finish(st Status, bound float64) *Solution {
-	sol := &Solution{Status: st, RootBasis: s.rootBasis, SearchStats: s.stats}
-	if st == Infeasible || st == Unbounded {
-		return sol
-	}
-	if !s.haveInc {
-		sol.Status = Unknown
-		return sol
-	}
-	obj := s.incumbentObj
-	gap := math.Abs(bound-obj) / math.Max(1, math.Abs(obj))
-	if st == Optimal {
-		gap = 0
-		bound = obj
-	}
-	objOut, boundOut := obj, bound
-	if !s.maximize {
-		objOut, boundOut = -obj, -bound
-	}
-	sol.Objective = objOut
-	sol.X = s.incumbent
-	sol.Bound = boundOut
-	sol.Gap = gap
-	return sol
+	sort.Ints(out)
+	return out
 }

@@ -1,0 +1,135 @@
+package milp
+
+import (
+	"math"
+
+	"pop/internal/lp"
+)
+
+// presolved is the outcome of the light presolve pass that runs once before
+// the root relaxation.
+type presolved struct {
+	// lp is the reduced problem the search actually solves. Variable
+	// indexing is preserved — fixed variables stay in the problem with
+	// lb==ub, so Solution.X and the objective need no back-substitution —
+	// but rows whose every coefficient hits a fixed variable collapse to
+	// constants and are dropped, and remaining rows have fixed-variable
+	// terms folded into their right-hand sides.
+	lp *lp.Problem
+	// infeasible reports that presolve proved the MILP infeasible (an
+	// integer variable's rounded bounds crossed, or a constant row's
+	// residual violates its sense).
+	infeasible bool
+	// reducedRows reports whether any row was dropped or rewritten; when
+	// true a caller-supplied RootBasis from the unreduced formulation no
+	// longer fits and is discarded by the LP solver's dimension check.
+	reducedRows bool
+	// fixed marks variables whose (rounded) bounds pin them to one value.
+	fixed []bool
+}
+
+// presolve applies GoMILP-style light reductions to a copy of the problem:
+// integer bound rounding, fixed-variable substitution into row right-hand
+// sides, and empty/constant row elimination. The original problem is never
+// modified. The pass is deliberately shallow — one sweep, no propagation —
+// because the lb instances it runs on are already tight; its value is
+// catching degenerate inputs (pre-fixed binaries, constant rows) before the
+// search builds per-worker models around them.
+func presolve(p *Problem) *presolved {
+	const tol = 1e-9
+	red := p.LP.Clone()
+	nv := red.NumVariables()
+	out := &presolved{lp: red, fixed: make([]bool, nv)}
+
+	// Integer bound rounding: ceil the lower, floor the upper. Crossed
+	// rounded bounds prove infeasibility outright.
+	for v := 0; v < nv; v++ {
+		lo, hi := red.Bounds(v)
+		if p.integer[v] {
+			if rl := math.Ceil(lo - tol); rl > lo {
+				lo = rl
+			}
+			if ru := math.Floor(hi + tol); ru < hi {
+				hi = ru
+			}
+			if lo > hi {
+				out.infeasible = true
+				return out
+			}
+			red.SetBounds(v, lo, hi)
+		}
+		if hi-lo <= tol {
+			out.fixed[v] = true
+		}
+	}
+
+	// Row sweep: fold fixed-variable terms into the rhs and drop rows with
+	// no free support. A constant row is checked against its sense and then
+	// eliminated; an inconsistent one proves infeasibility.
+	nrows := red.NumConstraints()
+	type keptRow struct {
+		idx   []int
+		val   []float64
+		sense lp.Sense
+		rhs   float64
+		name  string
+	}
+	var kept []keptRow
+	for i := 0; i < nrows; i++ {
+		idx, val, sense, rhs := red.Constraint(i)
+		freeIdx := idx[:0]
+		freeVal := val[:0]
+		for t, v := range idx {
+			if out.fixed[v] {
+				lo, _ := red.Bounds(v)
+				rhs -= val[t] * lo
+				continue
+			}
+			freeIdx = append(freeIdx, v)
+			freeVal = append(freeVal, val[t])
+		}
+		if len(freeIdx) == 0 {
+			// Constant (or originally empty) row: 0 ⋈ rhs must hold.
+			feasTol := 1e-7 * (1 + math.Abs(rhs))
+			switch sense {
+			case lp.LE:
+				if rhs < -feasTol {
+					out.infeasible = true
+					return out
+				}
+			case lp.GE:
+				if rhs > feasTol {
+					out.infeasible = true
+					return out
+				}
+			default: // EQ
+				if math.Abs(rhs) > feasTol {
+					out.infeasible = true
+					return out
+				}
+			}
+			out.reducedRows = true
+			continue
+		}
+		if len(freeIdx) != len(idx) {
+			out.reducedRows = true
+		}
+		kept = append(kept, keptRow{freeIdx, freeVal, sense, rhs, red.ConstraintName(i)})
+	}
+	if !out.reducedRows {
+		return out
+	}
+
+	// Rebuild the problem with the surviving rows. Variables (including the
+	// fixed ones, now inert) carry over verbatim so indexing is stable.
+	rb := lp.NewProblem(red.ObjectiveSense())
+	for v := 0; v < nv; v++ {
+		lo, hi := red.Bounds(v)
+		rb.AddVariable(red.ObjectiveCoeff(v), lo, hi, "")
+	}
+	for _, r := range kept {
+		rb.AddConstraint(r.idx, r.val, r.sense, r.rhs, r.name)
+	}
+	out.lp = rb
+	return out
+}
