@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	lpbench [-o BENCH_lp.json] [-reps 3] [-seed 1]
+//	lpbench [-o BENCH_lp.json] [-reps 3] [-seed 1] [-trace trace.json]
+//
+// -trace writes a Chrome trace-event JSON (load it in chrome://tracing or
+// Perfetto) of every solve's internal spans: standardize, factor/refactor,
+// phase 1/2, warm repair.
 package main
 
 import (
@@ -18,7 +22,12 @@ import (
 
 	"pop/internal/lp"
 	"pop/internal/lp/gen"
+	"pop/internal/obs"
 )
+
+// benchObs is non-nil only under -trace; solver options carry it so every
+// timed solve emits its span tree into the run trace.
+var benchObs *obs.Observer
 
 type record struct {
 	Instance   string  `json:"instance"`
@@ -42,11 +51,19 @@ type report struct {
 
 func main() {
 	var (
-		out  = flag.String("o", "BENCH_lp.json", "output file ('-' for stdout)")
-		reps = flag.Int("reps", 3, "timed repetitions per backend (best is kept)")
-		seed = flag.Int64("seed", 1, "instance generator seed")
+		out      = flag.String("o", "BENCH_lp.json", "output file ('-' for stdout)")
+		reps     = flag.Int("reps", 3, "timed repetitions per backend (best is kept)")
+		seed     = flag.Int64("seed", 1, "instance generator seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run's solver spans")
 	)
 	flag.Parse()
+
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		benchObs = &obs.Observer{Trace: tr}
+	}
+	runSpan := benchObs.Span("run")
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -72,6 +89,13 @@ func main() {
 			r.Instance, r.Rows, time.Duration(r.DenseNs), time.Duration(r.SparseLUNs), r.Speedup, r.ObjAgree)
 		rep.Records = append(rep.Records, r)
 	}
+	runSpan.End()
+	if tr != nil {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -95,7 +119,7 @@ func timeSolve(p *lp.Problem, b lp.SolverBackend, reps int) (ns int64, obj float
 	best := int64(1<<63 - 1)
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		sol, err := p.SolveWithOptions(lp.Options{Backend: b})
+		sol, err := p.SolveWithOptions(lp.Options{Backend: b, Obs: benchObs})
 		el := time.Since(start).Nanoseconds()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lpbench: %v backend failed: %v\n", b, err)

@@ -17,6 +17,11 @@
 // Usage:
 //
 //	milpbench [-o BENCH_milp.json] [-reps 3] [-maxnodes 20000] [-seed 1] [-workers auto|1,2,4]
+//	          [-trace trace.json]
+//
+// -trace writes a Chrome trace-event JSON (chrome://tracing / Perfetto) of
+// the warm searches: each milp.search span holds per-worker lanes of
+// milp.node spans with steal/fathom/incumbent instants.
 package main
 
 import (
@@ -32,7 +37,13 @@ import (
 
 	"pop/internal/lb"
 	"pop/internal/milp"
+	"pop/internal/obs"
 )
+
+// benchObs is non-nil only under -trace; the warm searches carry it so
+// their node solves emit span trees into the run trace (the cold baseline
+// and the workers sweep stay untraced to keep the file readable).
+var benchObs *obs.Observer
 
 type record struct {
 	Family  string `json:"family"`
@@ -125,8 +136,16 @@ func main() {
 		maxNodes = flag.Int("maxnodes", 20000, "node cap per search")
 		seed     = flag.Int64("seed", 1, "instance seed")
 		workers  = flag.String("workers", "auto", "worker counts to sweep: comma list or 'auto' (1,2,4,...,NumCPU)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the warm searches' node spans")
 	)
 	flag.Parse()
+
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		benchObs = &obs.Observer{Trace: tr}
+	}
+	runSpan := benchObs.Span("run")
 
 	counts, err := parseWorkers(*workers)
 	die(err)
@@ -146,6 +165,13 @@ func main() {
 	}
 	for _, sz := range sizes {
 		rep.Records = append(rep.Records, bench(sz.shards, sz.servers, *reps, *maxNodes, *seed, counts))
+	}
+	runSpan.End()
+	if tr != nil {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	logPivot, logSpeed := 0.0, 0.0
@@ -207,7 +233,7 @@ func bench(shards, servers, reps, maxNodes int, seed int64, workerCounts []int) 
 	var warmObj, coldObj float64
 	for r := 0; r < reps; r++ {
 		start := time.Now()
-		warm, err := prob.SolveWithOptions(milp.Options{MaxNodes: maxNodes})
+		warm, err := prob.SolveWithOptions(milp.Options{MaxNodes: maxNodes, Obs: benchObs})
 		die(err)
 		if ns := time.Since(start).Nanoseconds(); ns < rec.WarmNs {
 			rec.WarmNs = ns

@@ -15,7 +15,12 @@
 //
 // Usage:
 //
-//	onlinebench [-o BENCH_online.json] [-reps 3] [-rounds 6] [-seed 1]
+//	onlinebench [-o BENCH_online.json] [-reps 3] [-rounds 6] [-seed 1] [-trace trace.json]
+//
+// -trace writes a Chrome trace-event JSON (chrome://tracing / Perfetto) of
+// the warm engines' round spans: each online.round contains its per-partition
+// online.subsolve lanes, which in turn contain splice/rebuild/refresh spans
+// and the lp.solve span tree.
 package main
 
 import (
@@ -30,11 +35,16 @@ import (
 	"pop/internal/cluster"
 	"pop/internal/lb"
 	"pop/internal/lp"
+	"pop/internal/obs"
 	"pop/internal/online"
 	"pop/internal/te"
 	"pop/internal/tm"
 	"pop/internal/topo"
 )
+
+// benchObs is non-nil only under -trace; the warm engines carry it so their
+// rounds emit span trees into the run trace (cold baselines stay untraced).
+var benchObs *obs.Observer
 
 type record struct {
 	Family        string  `json:"family"`
@@ -72,12 +82,20 @@ type report struct {
 
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_online.json", "output file ('-' for stdout)")
-		reps   = flag.Int("reps", 3, "sequence repetitions (best total per engine is kept)")
-		rounds = flag.Int("rounds", 6, "timed rounds per sequence")
-		seed   = flag.Int64("seed", 1, "workload seed")
+		out      = flag.String("o", "BENCH_online.json", "output file ('-' for stdout)")
+		reps     = flag.Int("reps", 3, "sequence repetitions (best total per engine is kept)")
+		rounds   = flag.Int("rounds", 6, "timed rounds per sequence")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the warm engines' round spans")
 	)
 	flag.Parse()
+
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		benchObs = &obs.Observer{Trace: tr}
+	}
+	runSpan := benchObs.Span("run")
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -97,6 +115,13 @@ func main() {
 	}
 	for _, f := range fracs {
 		rep.Records = append(rep.Records, benchSpaceSharing(f, *rounds, *reps, *seed))
+	}
+	runSpan.End()
+	if tr != nil {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	logGeo := 0.0
@@ -178,7 +203,7 @@ func benchCluster(dirtyFrac float64, rounds, reps int, seed int64) record {
 	for rep := 0; rep < reps; rep++ {
 		rng := rand.New(rand.NewSource(seed))
 		jobs := cluster.GenerateJobs(nJobs, seed+2, 0.2)
-		warm, err := online.NewClusterEngine(c, online.MaxMinFairness, online.Options{K: k}, lp.Options{})
+		warm, err := online.NewClusterEngine(c, online.MaxMinFairness, online.Options{K: k, Obs: benchObs}, lp.Options{})
 		die(err)
 		cold, err := online.NewClusterEngine(c, online.MaxMinFairness, online.Options{K: k, NoWarmStart: true}, lp.Options{})
 		die(err)
@@ -260,7 +285,7 @@ func benchCapacity(rounds, reps int, seed int64) record {
 		rng := rand.New(rand.NewSource(seed + 11))
 		jobs := cluster.GenerateJobs(nJobs, seed+2, 0.2)
 		c := cluster.NewCluster(base[0], base[1], base[2])
-		warm, err := online.NewClusterEngine(c, online.MinMakespan, online.Options{K: k}, lp.Options{})
+		warm, err := online.NewClusterEngine(c, online.MinMakespan, online.Options{K: k, Obs: benchObs}, lp.Options{})
 		die(err)
 		cold, err := online.NewClusterEngine(c, online.MinMakespan, online.Options{K: k, NoWarmStart: true}, lp.Options{})
 		die(err)
@@ -331,7 +356,7 @@ func benchTE(dirtyFrac float64, rounds, reps int, seed int64) record {
 			Nodes: tp.G.N, Commodities: nDemands, Model: tm.Gravity,
 			TotalDemand: tp.TotalCapacity() * 0.4, Seed: seed + 5,
 		})
-		warm, err := online.NewTEEngine(tp, te.MaxTotalFlow, 4, online.Options{K: k}, lp.Options{})
+		warm, err := online.NewTEEngine(tp, te.MaxTotalFlow, 4, online.Options{K: k, Obs: benchObs}, lp.Options{})
 		die(err)
 		cold, err := online.NewTEEngine(tp, te.MaxTotalFlow, 4, online.Options{K: k, NoWarmStart: true}, lp.Options{})
 		die(err)
@@ -399,7 +424,7 @@ func benchSpaceSharing(dirtyFrac float64, rounds, reps int, seed int64) record {
 	for rep := 0; rep < reps; rep++ {
 		rng := rand.New(rand.NewSource(seed + 23))
 		jobs := cluster.GenerateJobs(nJobs, seed+2, 0.1)
-		warm, err := online.NewClusterEngine(c, online.SpaceSharing, online.Options{K: k}, lp.Options{})
+		warm, err := online.NewClusterEngine(c, online.SpaceSharing, online.Options{K: k, Obs: benchObs}, lp.Options{})
 		die(err)
 		cold, err := online.NewClusterEngine(c, online.SpaceSharing, online.Options{K: k, NoWarmStart: true}, lp.Options{})
 		die(err)
@@ -465,7 +490,7 @@ func benchLB(dirtyFrac float64, rounds, reps int, seed int64) record {
 	for rep := 0; rep < reps; rep++ {
 		rng := rand.New(rand.NewSource(seed + 7))
 		inst := lb.NewInstance(nShards, nServers, 0.05, seed+3)
-		warm, err := online.NewLBEngine(online.Options{K: k}, lp.Options{})
+		warm, err := online.NewLBEngine(online.Options{K: k, Obs: benchObs}, lp.Options{})
 		die(err)
 		cold, err := online.NewLBEngine(online.Options{K: k, NoWarmStart: true}, lp.Options{})
 		die(err)

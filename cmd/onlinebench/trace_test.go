@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pop/internal/obs"
+)
+
+// TestTraceNesting is the acceptance check for the -trace output: run a
+// small bench sequence under a trace, write the Chrome trace-event file,
+// load it back, and require the span hierarchy to nest solve < round < run
+// by wall-clock containment.
+func TestTraceNesting(t *testing.T) {
+	tr := obs.NewTrace()
+	benchObs = &obs.Observer{Trace: tr}
+	defer func() { benchObs = nil }()
+
+	runSpan := benchObs.Span("run")
+	benchCluster(0.25, 2, 1, 1)
+	runSpan.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var run *obs.Event
+	var rounds, solves []obs.Event
+	for i := range evs {
+		switch evs[i].Name {
+		case "run":
+			run = &evs[i]
+		case "online.round":
+			rounds = append(rounds, evs[i])
+		case "lp.solve":
+			solves = append(solves, evs[i])
+		}
+	}
+	if run == nil {
+		t.Fatal("trace has no run span")
+	}
+	// Two timed rounds plus the warm-up; every sub-solve reaches the LP.
+	if len(rounds) < 3 {
+		t.Fatalf("trace has %d online.round spans, want ≥ 3", len(rounds))
+	}
+	if len(solves) == 0 {
+		t.Fatal("trace has no lp.solve spans")
+	}
+
+	for _, r := range rounds {
+		if !run.Contains(r) {
+			t.Fatalf("online.round [%g,%g) escapes run [%g,%g)", r.TS, r.TS+r.Dur, run.TS, run.TS+run.Dur)
+		}
+	}
+	for _, s := range solves {
+		inRound := false
+		for _, r := range rounds {
+			if r.Contains(s) {
+				inRound = true
+				break
+			}
+		}
+		if !inRound {
+			t.Fatalf("lp.solve at ts=%g dur=%g is inside no online.round", s.TS, s.Dur)
+		}
+	}
+}

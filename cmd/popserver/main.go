@@ -16,9 +16,18 @@
 //	GET    /v1/stats           engine and server counters
 //	GET    /healthz            liveness
 //
+// Observability: GET /metrics serves the server's counters, gauges, and
+// latency histograms (round latency, warm/cold sub-solve counters, LP pivot
+// totals, per-endpoint request latency) in Prometheus text format. An
+// opt-in -debug-addr starts a second listener exposing net/http/pprof under
+// /debug/pprof/ plus the same /metrics. Logging is structured (log/slog,
+// text to stderr); -log-level picks debug|info|warn|error, with per-request
+// lines at debug and per-round lines at info.
+//
 // Usage:
 //
 //	popserver [-addr :8080] [-gpus 32,32,32] [-k 8] [-round 2s] [-policy maxmin] [-rebalance]
+//	          [-log-level info] [-debug-addr :6060]
 //
 // -policy selects maxmin, makespan, or spacesharing (pair slots for
 // single-GPU jobs, solved online from the pair-block layout).
@@ -33,9 +42,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -56,8 +66,17 @@ func main() {
 		policyFl  = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan | spacesharing")
 		parallel  = flag.Bool("parallel", true, "solve dirty sub-problems concurrently")
 		rebalance = flag.Bool("rebalance", false, "move ≤1 job per round toward the least-loaded sub-problem")
+		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		debugAddr = flag.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "popserver: bad -log-level %q (want debug|info|warn|error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	c, err := parseCluster(*gpus)
 	if err != nil {
@@ -77,7 +96,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := newServer(c, policy, online.Options{K: *k, Parallel: *parallel, Rebalance: *rebalance})
+	srv, err := newServer(c, policy, online.Options{K: *k, Parallel: *parallel, Rebalance: *rebalance}, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "popserver:", err)
 		os.Exit(2)
@@ -88,15 +107,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "popserver:", err)
 		os.Exit(2)
 	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "popserver:", err)
+			os.Exit(2)
+		}
+		defer dln.Close()
+		go func() { _ = http.Serve(dln, debugHandler(srv)) }()
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("popserver: %s policy, %d sub-problems, cluster %v×%v, round %v, listening on %s",
-		policy, *k, c.TypeNames, c.NumGPUs, *round, ln.Addr())
+	logger.Info("popserver listening",
+		"addr", ln.Addr().String(), "policy", policy.String(), "k", *k,
+		"gpu_types", c.TypeNames, "gpus", c.NumGPUs, "round", *round)
 	if err := run(ctx, ln, srv, *round); err != nil {
-		log.Fatal("popserver: ", err)
+		logger.Error("popserver failed", "err", err)
+		os.Exit(1)
 	}
-	log.Print("popserver: drained and stopped")
+	logger.Info("drained and stopped")
+}
+
+// debugHandler is the opt-in -debug-addr surface: the pprof index and
+// profile endpoints (registered explicitly — the servers use private muxes,
+// so the net/http/pprof DefaultServeMux side effects never leak into the
+// API listener) plus the metrics exposition for scrapes that should not
+// touch the serving port.
+func debugHandler(s *server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
 }
 
 // run serves HTTP on ln until ctx is cancelled, then shuts down gracefully:
@@ -124,7 +171,7 @@ func run(ctx context.Context, ln net.Listener, s *server, round time.Duration) e
 				return
 			case <-tick.C:
 				if _, err := s.tick(); err != nil {
-					log.Printf("popserver: round failed: %v", err)
+					s.log.Error("round failed", "err", err)
 				}
 			}
 		}

@@ -3,13 +3,17 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pop/internal/cluster"
 	"pop/internal/lp"
+	"pop/internal/obs"
 	"pop/internal/online"
 )
 
@@ -67,9 +71,26 @@ type server struct {
 
 	c       cluster.Cluster
 	started time.Time
+
+	// reg is the server's metrics registry (GET /metrics); the engine and
+	// its LP sub-solves book into it through the observer installed at
+	// construction. round mirrors snap.Round atomically so the request
+	// middleware can stamp X-Pop-Round without taking mu.
+	reg   *obs.Registry
+	log   *slog.Logger
+	round atomic.Int64
 }
 
-func newServer(c cluster.Cluster, policy online.ClusterPolicy, opts online.Options) (*server, error) {
+func newServer(c cluster.Cluster, policy online.ClusterPolicy, opts online.Options, logger *slog.Logger) (*server, error) {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	reg := obs.NewRegistry()
+	if opts.Obs == nil {
+		opts.Obs = &obs.Observer{Metrics: reg}
+	} else if opts.Obs.Metrics != nil {
+		reg = opts.Obs.Metrics // caller-supplied registry backs /metrics too
+	}
 	eng, err := online.NewClusterEngine(c, policy, opts, lp.Options{})
 	if err != nil {
 		return nil, err
@@ -79,6 +100,8 @@ func newServer(c cluster.Cluster, policy online.ClusterPolicy, opts online.Optio
 		c:       c,
 		snap:    snapshot{Jobs: map[string]jobAlloc{}},
 		started: time.Now(),
+		reg:     reg,
+		log:     logger,
 	}, nil
 }
 
@@ -91,10 +114,60 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
 	mux.HandleFunc("GET /v1/allocation/{id}", s.handleAllocationOne)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
-	return mux
+	return s.instrument(mux)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// statusRecorder captures the status code the handler wrote (200 when it
+// never called WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with per-endpoint latency histograms and request
+// counters, stamps every response with the monotonic round counter, and
+// emits a debug-level structured log line per request.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		w.Header().Set("X-Pop-Round", strconv.FormatInt(s.round.Load(), 10))
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		dur := time.Since(start)
+
+		// The registered pattern ("POST /v1/jobs") keeps the label
+		// cardinality fixed regardless of path parameters; unmatched
+		// requests collapse into one bucket.
+		path := r.Pattern
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[i+1:]
+		}
+		if path == "" {
+			path = "unmatched"
+		}
+		s.reg.Histogram(`pop_http_request_seconds{path="`+path+`"}`,
+			"HTTP request latency by endpoint", nil).Observe(dur.Seconds())
+		s.reg.Counter(`pop_http_requests_total{path="`+path+`",code="`+strconv.Itoa(rec.code)+`"}`,
+			"HTTP requests by endpoint and status").Inc()
+		s.log.Debug("request",
+			"method", r.Method, "path", r.URL.Path, "status", rec.code,
+			"duration_ms", float64(dur.Microseconds())/1000)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -272,7 +345,18 @@ func (s *server) tick() (snapshot, error) {
 
 	s.mu.Lock()
 	s.snap = snap
+	queued := len(s.pending)
 	s.mu.Unlock()
+	s.round.Store(int64(snap.Round))
+
+	s.reg.Counter("pop_rounds_total", "completed scheduling rounds").Inc()
+	s.reg.Histogram("pop_round_seconds", "scheduling round wall time", nil).
+		Observe(snap.SolveTimeMs / 1000)
+	s.reg.Gauge("pop_jobs", "jobs in the last completed round").Set(float64(snap.NumJobs))
+	s.reg.Gauge("pop_pending_mutations", "mutations queued for the next round").Set(float64(queued))
+	s.log.Info("round",
+		"round", snap.Round, "jobs", snap.NumJobs,
+		"solve_ms", snap.SolveTimeMs, "applied", len(pending))
 	return snap, nil
 }
 
@@ -316,20 +400,20 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"pending":        len(s.pending),
 		"gpu_types":      s.c.TypeNames,
 		"gpus":           s.c.NumGPUs,
-		"engine": map[string]any{
-			"rounds":        st.Rounds,
-			"sub_solves":    st.SubSolves,
-			"skipped_clean": st.SkippedClean,
-			"warm_attempts": st.WarmAttempts,
-			"warm_hits":     st.WarmHits,
-			"iterations":    st.Iterations,
-			"dual_pivots":   st.DualPivots,
-			"build_ms":      float64(st.BuildNs) / 1e6,
-			"solve_ms":      float64(st.SolveNs) / 1e6,
-			"arrivals":      st.Arrivals,
-			"departures":    st.Departures,
-			"updates":       st.Updates,
-			"rebalances":    st.Rebalances,
+		// engine marshals through online.Stats' JSON tags, so a field added
+		// there lands here without a matching edit.
+		"engine": st,
+		// search mirrors milp.SearchStats from the registry's counters. The
+		// bundled cluster policies are pure LPs, so these stay zero unless a
+		// MILP-backed policy runs with the server's observer; they are
+		// included unconditionally so clients see a stable schema.
+		"search": map[string]any{
+			"nodes":            s.reg.Counter("pop_milp_nodes_total", "").Value(),
+			"warm_nodes":       s.reg.Counter("pop_milp_warm_nodes_total", "").Value(),
+			"cold_fallbacks":   s.reg.Counter("pop_milp_cold_fallbacks_total", "").Value(),
+			"heuristic_solves": s.reg.Counter("pop_milp_heuristic_solves_total", "").Value(),
+			"lp_pivots":        s.reg.Counter("pop_milp_lp_pivots_total", "").Value(),
+			"dual_pivots":      s.reg.Counter("pop_milp_dual_pivots_total", "").Value(),
 		},
 	}
 	s.mu.Unlock()

@@ -5,10 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,7 +22,7 @@ import (
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(cluster.NewCluster(4, 4, 4), online.MaxMinFairness, online.Options{K: 2})
+	s, err := newServer(cluster.NewCluster(4, 4, 4), online.MaxMinFairness, online.Options{K: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +235,7 @@ func engineStat(t *testing.T, ts *httptest.Server, key string) float64 {
 // jobs are allocated through shared slots, so the snapshot reports effective
 // throughputs without solo X rows.
 func TestServerSpaceSharingPolicy(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(3, 3, 3), online.SpaceSharing, online.Options{K: 2})
+	s, err := newServer(cluster.NewCluster(3, 3, 3), online.SpaceSharing, online.Options{K: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,12 +306,197 @@ func TestServerAllocationFeasible(t *testing.T) {
 	}
 }
 
+// TestServerMetricsEndpoint checks the Prometheus exposition after a round:
+// round latency histogram, engine counters, and per-endpoint HTTP series all
+// appear with the right content type, and every response carries the
+// monotonic round stamp.
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	for id := 0; id < 4; id++ {
+		do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: id, Throughput: []float64{1, 2, 3}}, http.StatusAccepted)
+	}
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics content type %q, want text/plain exposition", ct)
+	}
+	if got := resp.Header.Get("X-Pop-Round"); got != "1" {
+		t.Fatalf("X-Pop-Round = %q after one round, want \"1\"", got)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"pop_rounds_total 1",
+		"pop_round_seconds_bucket",
+		`pop_round_seconds_bucket{le="+Inf"} 1`,
+		"pop_round_seconds_sum",
+		"pop_jobs 4",
+		"pop_online_rounds_total 1",
+		"pop_online_subsolves_total",
+		"pop_lp_solves_total",
+		"pop_lp_pivots_total",
+		`pop_http_requests_total{path="/v1/jobs",code="202"} 4`,
+		`pop_http_request_seconds_bucket{path="/v1/tick",le="+Inf"} 1`,
+		"# TYPE pop_round_seconds histogram",
+		"# HELP pop_rounds_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("GET /metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// A request that misses every route books under the fallback label
+	// rather than minting a series per raw URL.
+	if r2, err := http.Get(ts.URL + "/no/such/route"); err == nil {
+		r2.Body.Close()
+	}
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw2, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(raw2), `path="unmatched"`) {
+		t.Fatal("unrouted request did not book under path=\"unmatched\"")
+	}
+}
+
+// TestServerStatsSearchBlock: /v1/stats carries the milp search section with
+// a stable schema (zeros here — the bundled cluster policies are pure LPs)
+// and the engine section keyed by the wire names the JSON tags pin down.
+func TestServerStatsSearchBlock(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: 0, Throughput: []float64{1, 1, 1}}, http.StatusAccepted)
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	stats := do(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK)
+	search, ok := stats["search"].(map[string]any)
+	if !ok {
+		t.Fatal("/v1/stats missing search section")
+	}
+	for _, key := range []string{"nodes", "warm_nodes", "cold_fallbacks", "heuristic_solves", "lp_pivots", "dual_pivots"} {
+		if _, ok := search[key].(float64); !ok {
+			t.Fatalf("search section missing %q: %v", key, search)
+		}
+	}
+	eng, ok := stats["engine"].(map[string]any)
+	if !ok {
+		t.Fatal("/v1/stats missing engine section")
+	}
+	for _, key := range []string{"rounds", "sub_solves", "warm_attempts", "warm_hits", "iterations", "arrivals"} {
+		if _, ok := eng[key].(float64); !ok {
+			t.Fatalf("engine section missing %q: %v", key, eng)
+		}
+	}
+}
+
+// TestServerConcurrentLoad hammers submit/remove/tick/stats/metrics from
+// many goroutines at once; run under -race this is the data-race check for
+// the whole observability path (registry, round counter, middleware).
+func TestServerConcurrentLoad(t *testing.T) {
+	_, ts := newTestServer(t)
+	const (
+		workers = 8
+		rounds  = 20
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	req := func(method, path string, body any, wantCode int) error {
+		var buf bytes.Buffer
+		if body != nil {
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				return err
+			}
+		}
+		r, err := http.NewRequest(method, ts.URL+path, &buf)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if wantCode != 0 && resp.StatusCode != wantCode {
+			return fmt.Errorf("%s %s: status %d, want %d", method, path, resp.StatusCode, wantCode)
+		}
+		return nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := w*rounds + i
+				if err := req("POST", "/v1/jobs", jobSpec{
+					ID:         id,
+					Throughput: []float64{1, 2, 3 + float64(id%4)},
+				}, http.StatusAccepted); err != nil {
+					errs <- err
+					return
+				}
+				var err error
+				switch i % 4 {
+				case 0:
+					err = req("POST", "/v1/tick", nil, http.StatusOK)
+				case 1:
+					err = req("GET", "/v1/stats", nil, http.StatusOK)
+				case 2:
+					err = req("GET", "/metrics", nil, http.StatusOK)
+				case 3:
+					err = req("DELETE", fmt.Sprintf("/v1/jobs/%d", id), nil, 0)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// One final round then a consistency probe: counters visible in both
+	// /v1/stats and /metrics, round stamp monotone and positive.
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	stamp, err := strconv.Atoi(resp.Header.Get("X-Pop-Round"))
+	if err != nil || stamp < 1 {
+		t.Fatalf("bad X-Pop-Round %q after load", resp.Header.Get("X-Pop-Round"))
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "pop_rounds_total") {
+		t.Fatal("metrics lost pop_rounds_total under load")
+	}
+	if got := engineStat(t, ts, "rounds"); got < float64(stamp) {
+		t.Fatalf("engine rounds %g < round stamp %d", got, stamp)
+	}
+}
+
 // TestServerGracefulShutdown drives the real run() loop: submit work over
 // the live listener, start rounds ticking, then cancel the context (as
 // SIGINT/SIGTERM would) and require run to drain the in-flight round and
 // return cleanly, leaving the engine in a consistent post-round state.
 func TestServerGracefulShutdown(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(4, 4, 4), online.MaxMinFairness, online.Options{K: 2})
+	s, err := newServer(cluster.NewCluster(4, 4, 4), online.MaxMinFairness, online.Options{K: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +559,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 // TestServerShutdownWithoutTicker: run with round=0 (manual ticks only)
 // must also exit cleanly on cancellation.
 func TestServerShutdownWithoutTicker(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(2, 2, 2), online.MinMakespan, online.Options{K: 1})
+	s, err := newServer(cluster.NewCluster(2, 2, 2), online.MinMakespan, online.Options{K: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -598,8 +598,10 @@ func (m *Model) SolveWithOptions(opts Options) (*Solution, error) {
 		return nil, fmt.Errorf("lp: model has no variables")
 	}
 	if m.std == nil || m.stdDirty {
+		sp := opts.Obs.Span("lp.standardize")
 		m.std = m.p.standardize()
 		m.stdDirty = false
+		sp.End()
 	}
 	if opts.WarmBasis == nil && m.basis != nil {
 		opts.WarmBasis = m.basis
@@ -607,6 +609,7 @@ func (m *Model) SolveWithOptions(opts Options) (*Solution, error) {
 	}
 	sol := m.run(opts)
 	if sol.Status == Numerical && (opts.Backend.resolve() != Dense || opts.WarmBasis != nil) {
+		opts.Obs.Instant("lp.dense-retry", nil)
 		opts.Backend = Dense
 		opts.WarmBasis = nil // a bad warm basis must not poison the retry
 		opts.Dual = false

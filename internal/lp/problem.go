@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"pop/internal/obs"
 )
 
 // Objective selects the optimization direction of a Problem.
@@ -423,6 +425,12 @@ type Options struct {
 	// a cold phase 1, so warm starts never change the solve outcome — only
 	// its speed. Works with both backends.
 	WarmBasis *Basis
+	// Obs, when non-nil, receives per-solve telemetry: phase spans
+	// (standardize, factor, refactor, phase1, phase2, dual, warm-repair),
+	// warm-path instants (cold-fallback, dual-reject), and solve-level
+	// counters/histograms. The nil default costs one pointer check per
+	// hook site. See internal/obs.
+	Obs *obs.Observer
 	// Dual attempts a dual simplex re-solve from WarmBasis before the
 	// primal warm path: the snapshot's statuses are installed, and if they
 	// are still dual feasible (which an optimal basis remains under
@@ -477,6 +485,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	// warm-started dense solve gets the same one retry (cold), so a stale
 	// basis can never change the solve outcome.
 	if sol.Status == Numerical && (s.backend != Dense || opts.WarmBasis != nil) {
+		opts.Obs.Instant("lp.dense-retry", nil)
 		opts.Backend = Dense
 		opts.WarmBasis = nil // a bad warm basis must not poison the retry
 		opts.Dual = false

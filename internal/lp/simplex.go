@@ -2,6 +2,7 @@ package lp
 
 import (
 	"math"
+	"time"
 )
 
 // Variable status codes for the bounded-variable simplex.
@@ -54,6 +55,7 @@ type simplex struct {
 
 	iters          int
 	dualPivots     int
+	refactors      int // reinvert() calls, booked to metrics at solve end
 	sinceReinvert  int
 	degenerateRun  int
 	blandMode      bool
@@ -66,7 +68,10 @@ type simplex struct {
 }
 
 func newSimplex(p *Problem, opts Options) *simplex {
-	return newSimplexStd(p.standardize(), opts)
+	sp := opts.Obs.Span("lp.standardize")
+	std := p.standardize()
+	sp.End()
+	return newSimplexStd(std, opts)
 }
 
 // newSimplexStd builds a solver over an already-standardized model; Model
@@ -105,11 +110,31 @@ func (s *simplex) ubOf(j int) float64 {
 	return s.std.ub[j]
 }
 
+// solve runs the full solve and, when an Observer is attached, wraps it in
+// an "lp.solve" span and books the solve-level metrics. All algorithmic
+// work lives in solveInner.
 func (s *simplex) solve() *Solution {
+	o := s.opts.Obs
+	if o == nil {
+		return s.solveInner()
+	}
+	sp := o.Span("lp.solve").Arg("m", s.m).Arg("n", s.std.n)
+	start := time.Now()
+	sol := s.solveInner()
+	sp.Arg("status", sol.Status.String()).
+		Arg("iters", sol.Iterations).
+		Arg("warm", sol.WarmStarted).
+		End()
+	s.bookSolve(o, sol, time.Since(start))
+	return sol
+}
+
+func (s *simplex) solveInner() *Solution {
 	if s.m == 0 {
 		return s.solveUnconstrained()
 	}
 	if s.opts.WarmBasis != nil && s.opts.Dual {
+		sp := s.opts.Obs.Span("lp.dual")
 		if s.initWarmDual(s.opts.WarmBasis) {
 			if st := s.dualIterate(); st == Optimal {
 				s.warmStarted = true
@@ -124,28 +149,27 @@ func (s *simplex) solve() *Solution {
 		} else {
 			s.resetStart()
 		}
+		sp.Arg("accepted", s.warmStarted).End()
+		if !s.warmStarted {
+			s.opts.Obs.Instant("lp.dual-reject", nil)
+		}
 	}
 	if !s.warmStarted && s.opts.WarmBasis != nil {
+		sp := s.opts.Obs.Span("lp.warm-repair")
 		s.warmStarted = s.initWarm(s.opts.WarmBasis)
+		sp.Arg("accepted", s.warmStarted).End()
 		if !s.warmStarted {
 			// The cold fallback must behave exactly as if no warm basis had
 			// been supplied: give it back the full iteration budget and a
 			// clean trouble flag.
+			s.opts.Obs.Instant("lp.cold-fallback", nil)
 			s.resetStart()
 		}
 	}
 	for {
 		if !s.warmStarted {
-			s.initPhase1()
-
-			if !s.initialFeasible() {
-				st := s.iterate()
-				if st == IterLimit || st == Numerical {
-					return s.failure(st)
-				}
-				if s.phase1Objective() > 1e2*s.opts.TolFeas*float64(1+s.m) {
-					return s.failure(Infeasible)
-				}
+			if st := s.runPhase1(); st != Optimal {
+				return s.failure(st)
 			}
 		}
 
@@ -162,15 +186,18 @@ func (s *simplex) solve() *Solution {
 		s.degenerateRun = 0
 		s.blandMode = s.opts.BlandOnly
 
+		sp := s.opts.Obs.Span("lp.phase2")
 		st := s.iterate()
 		if st == Optimal && !s.solutionFinite() {
 			st = Numerical // NaN/Inf iterate: optimality tests passed vacuously
 		}
+		sp.Arg("status", st.String()).End()
 		if st != Optimal {
 			if s.warmStarted && st == Numerical {
 				// A stale warm basis drove the iteration into numerical
 				// breakdown; retry once from the cold all-artificial start,
 				// exactly as if no snapshot had been supplied.
+				s.opts.Obs.Instant("lp.cold-fallback", nil)
 				s.resetStart()
 				continue
 			}
@@ -178,6 +205,24 @@ func (s *simplex) solve() *Solution {
 		}
 		return s.extract()
 	}
+}
+
+// runPhase1 builds the all-artificial start and drives the phase-1
+// objective to zero, reporting Optimal when a feasible basis is in hand.
+func (s *simplex) runPhase1() Status {
+	sp := s.opts.Obs.Span("lp.phase1")
+	defer sp.End()
+	s.initPhase1()
+	if s.initialFeasible() {
+		return Optimal
+	}
+	if st := s.iterate(); st == IterLimit || st == Numerical {
+		return st
+	}
+	if s.phase1Objective() > 1e2*s.opts.TolFeas*float64(1+s.m) {
+		return Infeasible
+	}
+	return Optimal
 }
 
 // solutionFinite reports whether every structural and slack value is finite.
@@ -332,7 +377,9 @@ func (s *simplex) initPhase1() {
 	} else {
 		s.bas = newLUFactor(s)
 	}
+	sp := s.opts.Obs.Span("lp.factor")
 	s.bas.refactor()
+	sp.End()
 }
 
 // resetDevex restores the reference framework (all weights 1), done at
@@ -688,6 +735,9 @@ func (s *simplex) pivot(leave, q int) bool {
 // dense backend for the rest of the solve; reinvert returns false only if
 // the dense rebuild also finds the basis singular.
 func (s *simplex) reinvert() bool {
+	s.refactors++
+	sp := s.opts.Obs.Span("lp.refactor")
+	defer sp.End()
 	ok := s.bas.refactor()
 	if !ok {
 		if _, dense := s.bas.(*denseFactor); !dense {

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"pop/internal/lp"
+	"pop/internal/obs"
 )
 
 // Problem is a mixed-integer linear program: an lp.Problem plus a set of
@@ -136,6 +137,12 @@ type Options struct {
 	ColdNodes bool
 	// LP propagates options to the relaxation solver.
 	LP lp.Options
+	// Obs, when non-nil, receives search telemetry: a "milp.search" span
+	// per solve, per-node "milp.node" spans on per-worker trace lanes
+	// (TID+1+worker), steal/fathom/incumbent instants, and search-level
+	// counters. The observer is also threaded into every node's LP solve.
+	// Nil — the default — costs one pointer check per node.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -300,7 +307,21 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	if s.opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(s.opts.TimeLimit)
 	}
-	return s.run()
+	o := s.opts.Obs
+	if o == nil {
+		return s.run()
+	}
+	sp := o.Span("milp.search").Arg("workers", s.opts.Workers)
+	start := time.Now()
+	sol, err := s.run()
+	if sol != nil {
+		sp.Arg("status", sol.Status.String()).Arg("nodes", sol.Nodes)
+	}
+	sp.End()
+	if err == nil && sol != nil {
+		bookSearch(o, sol, time.Since(start))
+	}
+	return sol, err
 }
 
 func tightenUB(n *node, v int, val float64) {

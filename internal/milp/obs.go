@@ -1,0 +1,20 @@
+package milp
+
+import (
+	"time"
+
+	"pop/internal/obs"
+)
+
+// bookSearch records search-level metrics once per completed solve, so the
+// per-node hot path never touches the registry.
+func bookSearch(o *obs.Observer, sol *Solution, dur time.Duration) {
+	o.Counter("pop_milp_searches_total", "completed branch-and-bound searches").Inc()
+	o.Histogram("pop_milp_search_seconds", "branch-and-bound wall time").Observe(dur.Seconds())
+	o.Counter("pop_milp_nodes_total", "solved node relaxations").Add(int64(sol.Nodes))
+	o.Counter("pop_milp_warm_nodes_total", "node solves that accepted the parent basis").Add(int64(sol.WarmNodes))
+	o.Counter("pop_milp_cold_fallbacks_total", "warm-eligible node solves that fell back cold").Add(int64(sol.ColdFallbacks))
+	o.Counter("pop_milp_heuristic_solves_total", "primal-heuristic LP re-solves").Add(int64(sol.HeuristicSolves))
+	o.Counter("pop_milp_lp_pivots_total", "simplex pivots across all node relaxations").Add(int64(sol.LPPivots))
+	o.Counter("pop_milp_dual_pivots_total", "dual simplex pivots across all node relaxations").Add(int64(sol.DualPivots))
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pop/internal/lp"
+	"pop/internal/obs"
 )
 
 // worker owns everything one branch-and-bound goroutine mutates freely: a
@@ -25,6 +26,21 @@ type worker struct {
 	// it. Written and consumed under search.mu.
 	dive  *node
 	stats SearchStats
+	// obs is the search observer shifted onto this worker's trace lane
+	// (nil when the search runs without one); lpOpts is s.opts.LP with that
+	// observer threaded in, so node relaxations trace on the worker's lane.
+	obs    *obs.Observer
+	lpOpts lp.Options
+}
+
+// initWorker derives the worker's trace lane and LP options from the
+// search's observer; a no-op wiring of s.opts.LP when none is attached.
+func (s *search) initWorker(w *worker) {
+	w.lpOpts = s.opts.LP
+	if o := s.opts.Obs; o != nil {
+		w.obs = o.WithTID(o.TID + 1 + w.id)
+		w.lpOpts.Obs = w.obs
+	}
 }
 
 // search is the branch-and-bound coordinator: the mutex-protected open heap
@@ -97,6 +113,7 @@ func (s *search) run() (*Solution, error) {
 	s.snapshotBounds(pre.lp)
 
 	w0 := &worker{id: 0, model: lp.NewModelFromProblem(pre.lp), applied: map[int]bool{}}
+	s.initWorker(w0)
 	s.workers = append(s.workers, w0)
 
 	root := &node{lb: map[int]float64{}, ub: map[int]float64{}, bound: math.Inf(1), pcVar: -1}
@@ -134,7 +151,9 @@ func (s *search) run() (*Solution, error) {
 	// bounds, same applied set, shared matrix) and every worker runs the
 	// steal-solve-branch loop until the coordinator latches a stop.
 	for i := 1; i < s.opts.Workers; i++ {
-		s.workers = append(s.workers, &worker{id: i, model: w0.model.Clone(), applied: copyBoolMap(w0.applied)})
+		w := &worker{id: i, model: w0.model.Clone(), applied: copyBoolMap(w0.applied)}
+		s.initWorker(w)
+		s.workers = append(s.workers, w)
 	}
 	var wg sync.WaitGroup
 	for _, w := range s.workers {
@@ -200,6 +219,7 @@ func (s *search) next(w *worker) *node {
 			w.dive = nil
 		case len(s.open) > 0:
 			n = heap.Pop(&s.open).(*node)
+			w.obs.Instant("milp.steal", nil)
 		default:
 			if s.outstanding == 0 {
 				s.stopLocked(false)
@@ -209,6 +229,7 @@ func (s *search) next(w *worker) *node {
 			continue
 		}
 		if s.haveInc && n.bound <= s.cutoffLocked() {
+			w.obs.Instant("milp.fathom", nil)
 			s.retireLocked()
 			continue // fathomed by bound
 		}
@@ -244,6 +265,7 @@ func (s *search) finishNode(w *worker, n *node, sol *lp.Solution) {
 			s.incumbentObj = obj
 			s.incumbent = append([]float64(nil), sol.X...)
 			s.haveInc = true
+			w.obs.Instant("milp.incumbent", map[string]any{"obj": sol.Objective})
 		}
 		return
 	}
@@ -251,6 +273,7 @@ func (s *search) finishNode(w *worker, n *node, sol *lp.Solution) {
 		return // a limit fired while this node was in flight
 	}
 	if s.haveInc && obj <= s.cutoffLocked() {
+		w.obs.Instant("milp.fathom", nil)
 		return // fathomed by bound
 	}
 	s.branchLocked(w, n, sol, v, f)
@@ -361,6 +384,19 @@ func (s *search) fail(err error) {
 // into the worker's private stats — as a node, or as a heuristic solve that
 // does not consume the MaxNodes budget.
 func (w *worker) solveNode(s *search, n *node, heuristic bool) (*lp.Solution, error) {
+	if w.obs == nil {
+		return w.solveNodeInner(s, n, heuristic)
+	}
+	sp := w.obs.Span("milp.node").Arg("depth", n.depth).Arg("heuristic", heuristic)
+	sol, err := w.solveNodeInner(s, n, heuristic)
+	if sol != nil {
+		sp.Arg("status", sol.Status.String())
+	}
+	sp.End()
+	return sol, err
+}
+
+func (w *worker) solveNodeInner(s *search, n *node, heuristic bool) (*lp.Solution, error) {
 	t0 := time.Now()
 	w.applyBounds(s, n)
 	warm := false
@@ -378,7 +414,7 @@ func (w *worker) solveNode(s *search, n *node, heuristic bool) (*lp.Solution, er
 	}
 
 	t0 = time.Now()
-	sol, err := w.model.SolveWithOptions(s.opts.LP)
+	sol, err := w.model.SolveWithOptions(w.lpOpts)
 	w.stats.SolveNs += time.Since(t0).Nanoseconds()
 	if err != nil {
 		return nil, err

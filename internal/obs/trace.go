@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one Chrome trace-event record. Complete spans use Phase "X"
+// with TS/Dur; instant events use Phase "i". Timestamps are microseconds
+// since the trace started. chrome://tracing and https://ui.perfetto.dev
+// load the emitted files directly.
+type Event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope ("t" = thread)
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// End returns the event's end timestamp (TS for instants).
+func (e Event) End() float64 { return e.TS + e.Dur }
+
+// Contains reports whether span e wholly encloses span other in time —
+// the nesting relation the trace tests verify (tids are lanes, not scopes,
+// so containment is judged on wall clock alone).
+func (e Event) Contains(other Event) bool {
+	return e.TS <= other.TS && other.End() <= e.End()
+}
+
+// Trace is a concurrency-safe event collector. Producers append spans and
+// instants from any goroutine; one writer serializes the file at the end.
+// A nil *Trace accepts every method as a no-op.
+type Trace struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewTrace starts an empty trace; timestamps are relative to this call.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+func (t *Trace) sinceUs(at time.Time) float64 {
+	return float64(at.Sub(t.start).Nanoseconds()) / 1e3
+}
+
+func (t *Trace) append(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Span is an open interval started by Trace.Begin; End records it as a
+// complete event. A nil *Span (from a nil Trace or Observer) no-ops, so
+// instrumented code never branches on whether tracing is live.
+type Span struct {
+	t     *Trace
+	tid   int
+	name  string
+	start time.Time
+	args  map[string]any
+}
+
+// Begin opens a span named name on thread lane tid.
+func (t *Trace) Begin(tid int, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, tid: tid, name: name, start: time.Now()}
+}
+
+// Arg attaches a key/value pair shown in the trace viewer's detail pane.
+// It returns the span for chaining.
+func (s *Span) Arg(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = value
+	return s
+}
+
+// End closes the span and records it. Calling End twice records the span
+// twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.append(Event{
+		Name:  s.name,
+		Phase: "X",
+		TS:    s.t.sinceUs(s.start),
+		Dur:   float64(time.Since(s.start).Nanoseconds()) / 1e3,
+		PID:   1,
+		TID:   s.tid,
+		Args:  s.args,
+	})
+}
+
+// Instant records a zero-duration marker event on lane tid.
+func (t *Trace) Instant(tid int, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(Event{
+		Name:  name,
+		Phase: "i",
+		TS:    t.sinceUs(time.Now()),
+		PID:   1,
+		TID:   tid,
+		Scope: "t",
+		Args:  args,
+	})
+}
+
+// Len reports the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// traceFile is the on-disk JSON envelope (the Chrome trace "JSON object
+// format").
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Write serializes the trace as Chrome trace-event JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to path, replacing any existing file.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads the events of a trace file written by WriteFile — the
+// verification half used by tests that assert span nesting.
+func ReadFile(path string) ([]Event, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return nil, err
+	}
+	return tf.TraceEvents, nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	run := tr.Begin(0, "run")
+	round := tr.Begin(0, "online.round").Arg("round", 1)
+	solve := tr.Begin(1, "lp.solve")
+	time.Sleep(time.Millisecond)
+	solve.End()
+	tr.Instant(1, "lp.cold-fallback", map[string]any{"part": 0})
+	round.End()
+	run.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+
+	byName := map[string]Event{}
+	for _, e := range events {
+		byName[e.Name] = e
+	}
+	runEv, roundEv, solveEv := byName["run"], byName["online.round"], byName["lp.solve"]
+	if runEv.Phase != "X" || solveEv.Dur <= 0 {
+		t.Fatalf("bad span events: %+v", events)
+	}
+	if !runEv.Contains(roundEv) || !roundEv.Contains(solveEv) {
+		t.Fatalf("want solve < round < run nesting: %+v", events)
+	}
+	inst := byName["lp.cold-fallback"]
+	if inst.Phase != "i" || inst.Args["part"] != float64(0) {
+		t.Fatalf("bad instant event: %+v", inst)
+	}
+	if roundEv.Args["round"] != float64(1) {
+		t.Fatalf("span arg lost: %+v", roundEv)
+	}
+}
+
+func TestObserverLanes(t *testing.T) {
+	tr := NewTrace()
+	o := &Observer{Trace: tr, TID: 5}
+	o.Span("a").End()
+	o.WithTID(9).Span("b").End()
+	o.Instant("c", nil)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	tids := map[string]int{}
+	for _, e := range evs {
+		tids[e.Name] = e.TID
+	}
+	if tids["a"] != 5 || tids["b"] != 9 || tids["c"] != 5 {
+		t.Fatalf("lane assignment wrong: %v", tids)
+	}
+}
+
+func TestTraceConcurrentAppend(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Begin(tid, "e").End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 1600 {
+		t.Fatalf("got %d events, want 1600", got)
+	}
+}

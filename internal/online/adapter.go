@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pop/internal/lp"
+	"pop/internal/obs"
 )
 
 // NoPartner marks a BlockKey owned by a single client.
@@ -127,9 +128,31 @@ func (e *engine) invalidateModels() {
 	}
 }
 
-// solveRound re-solves every dirty partition through the adapter.
+// solveRound re-solves every dirty partition through the adapter. With an
+// observer attached it wraps the round in an "online.round" span and books
+// the round-delta counters; the disabled path is one nil check.
 func (e *engine) solveRound() error {
-	return e.t.solveDirty(e.subSolve)
+	o := e.t.opts.Obs
+	if o == nil {
+		return e.t.solveDirty(e.subSolve)
+	}
+	before := e.t.stats
+	sp := o.Span("online.round")
+	start := time.Now()
+	err := e.t.solveDirty(e.subSolve)
+	dur := time.Since(start)
+	d := e.t.stats
+	sp.Arg("subsolves", d.SubSolves-before.SubSolves).
+		Arg("skipped", d.SkippedClean-before.SkippedClean).
+		Arg("pivots", d.Iterations-before.Iterations).
+		End()
+	o.Counter("pop_online_rounds_total", "engine solve rounds").Inc()
+	o.Histogram("pop_online_round_seconds", "engine round wall time").Observe(dur.Seconds())
+	o.Counter("pop_online_subsolves_total", "dirty sub-problems re-solved").Add(int64(d.SubSolves - before.SubSolves))
+	o.Counter("pop_online_skipped_clean_total", "clean sub-problems skipped").Add(int64(d.SkippedClean - before.SkippedClean))
+	o.Counter("pop_online_warm_attempts_total", "sub-solves entered with a live basis").Add(int64(d.WarmAttempts - before.WarmAttempts))
+	o.Counter("pop_online_warm_hits_total", "sub-solves the solver warm-started").Add(int64(d.WarmHits - before.WarmHits))
+	return err
 }
 
 // subSolve brings partition p's persistent model in line with the adapter's
@@ -145,6 +168,20 @@ func (e *engine) solveRound() error {
 //     warm-hostile. A splice that cannot preserve survivor order or shape
 //     falls back to a fresh build.
 func (e *engine) subSolve(p int, ids []int) (subReport, error) {
+	o := e.t.opts.Obs
+	if o == nil {
+		return e.subSolveObs(nil, p, ids)
+	}
+	// Each partition gets its own trace lane so parallel sub-solves render
+	// side by side instead of overlapping on the engine's lane.
+	po := o.WithTID(o.TID + 1 + p)
+	sp := po.Span("online.subsolve").Arg("part", p).Arg("members", len(ids))
+	rep, err := e.subSolveObs(po, p, ids)
+	sp.End()
+	return rep, err
+}
+
+func (e *engine) subSolveObs(po *obs.Observer, p int, ids []int) (subReport, error) {
 	if len(ids) == 0 {
 		e.subs[p] = &sub{}
 		e.ad.Clear(p)
@@ -166,11 +203,13 @@ func (e *engine) subSolve(p int, ids []int) (subReport, error) {
 	switch {
 	case s.model == nil || e.t.opts.NoWarmStart || keyOverlap(s.blocks, want) < 0.5 ||
 		(hostile && !slices.Equal(s.blocks, want)):
-		e.rebuild(s, p, want)
-	case !e.splice(s, p, want):
-		e.rebuild(s, p, want)
+		e.rebuildObs(po, s, p, want)
+	case !e.spliceObs(po, s, p, want):
+		e.rebuildObs(po, s, p, want)
 	default:
+		rsp := po.Span("online.refresh")
 		e.ad.RefreshModel(s.model, p, s.blocks)
+		rsp.End()
 		if hostile {
 			s.model.ForgetBasis()
 		}
@@ -178,13 +217,20 @@ func (e *engine) subSolve(p int, ids []int) (subReport, error) {
 	warmAttempted := s.model.HasBasis()
 	buildNs := time.Since(start).Nanoseconds()
 
+	lpo := e.lpOpts
+	if po != nil {
+		lpo.Obs = po
+	}
 	start = time.Now()
-	sol, err := s.model.SolveWithOptions(e.lpOpts)
+	sol, err := s.model.SolveWithOptions(lpo)
 	solveNs := time.Since(start).Nanoseconds()
 	if err != nil {
 		return subReport{}, err
 	}
-	if err := e.ad.Extract(p, s.blocks, sol, s.model.NumVariables()); err != nil {
+	esp := po.Span("online.extract")
+	err = e.ad.Extract(p, s.blocks, sol, s.model.NumVariables())
+	esp.End()
+	if err != nil {
 		return subReport{}, err
 	}
 	return subReport{
@@ -200,6 +246,20 @@ func (e *engine) subSolve(p int, ids []int) (subReport, error) {
 func (e *engine) rebuild(s *sub, p int, want []Block) {
 	s.model = e.ad.BuildModel(p, want)
 	s.blocks = slices.Clone(want)
+}
+
+// rebuildObs and spliceObs wrap the sync paths in their phase spans.
+func (e *engine) rebuildObs(po *obs.Observer, s *sub, p int, want []Block) {
+	sp := po.Span("online.rebuild").Arg("blocks", len(want))
+	e.rebuild(s, p, want)
+	sp.End()
+}
+
+func (e *engine) spliceObs(po *obs.Observer, s *sub, p int, want []Block) bool {
+	sp := po.Span("online.splice")
+	ok := e.splice(s, p, want)
+	sp.Arg("ok", ok).End()
+	return ok
 }
 
 // splice mutates s.model toward the want layout: blocks that vanished —

@@ -5,12 +5,20 @@ import (
 	"math"
 
 	"pop/internal/core"
+	"pop/internal/obs"
 )
 
 // Options configure an incremental engine.
 type Options struct {
 	// K is the number of POP sub-problems; required ≥ 1.
 	K int
+	// Obs, when non-nil, receives engine telemetry: an "online.round" span
+	// per solve round, per-partition "online.subsolve" spans (with
+	// rebuild/splice/refresh/extract phase children) on trace lanes
+	// TID+1+p, and round-level counters/histograms. The observer is also
+	// threaded into each partition's LP solve. Nil — the default — costs
+	// one pointer check per round.
+	Obs *obs.Observer
 	// Parallel re-solves dirty sub-problems concurrently (the map step).
 	Parallel bool
 	// NoWarmStart disables the persistent-model mutation path, making every
@@ -32,29 +40,37 @@ func (o Options) validate() error {
 	return nil
 }
 
-// Stats counts the engine's work since creation.
+// Stats counts the engine's work since creation. The JSON tags fix the
+// wire names popserver's /v1/stats exposes, so adding a field here extends
+// the snapshot instead of silently dropping from it.
 type Stats struct {
 	// Rounds is the number of Solve calls.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// SubSolves counts dirty sub-problems actually re-solved.
-	SubSolves int
+	SubSolves int `json:"sub_solves"`
 	// SkippedClean counts sub-problems a round left untouched.
-	SkippedClean int
+	SkippedClean int `json:"skipped_clean"`
 	// WarmAttempts counts sub-solves entered with a live basis in the
 	// sub-problem's persistent model; WarmHits counts those where the
 	// solver accepted it (Solution.WarmStarted).
-	WarmAttempts, WarmHits int
+	WarmAttempts int `json:"warm_attempts"`
+	WarmHits     int `json:"warm_hits"`
 	// Iterations is the total simplex pivots across all sub-solves;
 	// DualPivots is the subset taken by the dual simplex phase on
 	// rhs/bound-only deltas.
-	Iterations, DualPivots int
+	Iterations int `json:"iterations"`
+	DualPivots int `json:"dual_pivots"`
 	// BuildNs is time spent constructing or mutating sub-problem LP models;
 	// SolveNs is time spent inside the LP solver. Their ratio is the
 	// constant-factor story: the mutation path exists to shrink BuildNs.
-	BuildNs, SolveNs int64
+	BuildNs int64 `json:"build_ns"`
+	SolveNs int64 `json:"solve_ns"`
 	// Arrivals, Departures, and Updates count the applied deltas;
 	// Rebalances counts clients moved by the drift-bounding rebalancer.
-	Arrivals, Departures, Updates, Rebalances int
+	Arrivals   int `json:"arrivals"`
+	Departures int `json:"departures"`
+	Updates    int `json:"updates"`
+	Rebalances int `json:"rebalances"`
 }
 
 // partition is the engine-internal state of one sub-problem.
