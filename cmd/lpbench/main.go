@@ -1,15 +1,23 @@
 // Command lpbench times the lp solver's Dense and SparseLU backends on the
 // case-study-shaped instances from internal/lp/gen and writes a JSON
 // regression record (BENCH_lp.json via `make bench-lp`), so every PR has a
-// perf trajectory to compare against.
+// perf trajectory to compare against. The SparseLU backend is timed twice:
+// with the default Forrest–Tomlin update strategy and with the legacy
+// product-form eta file, so the in-place update's per-pivot win is recorded
+// against its own baseline in the same run (pivot_ns vs eta_pivot_ns).
 //
 // Usage:
 //
-//	lpbench [-o BENCH_lp.json] [-reps 3] [-seed 1] [-trace trace.json]
+//	lpbench [-o BENCH_lp.json] [-reps 3] [-seed 1] [-trace trace.json] [-metrics]
 //
 // -trace writes a Chrome trace-event JSON (load it in chrome://tracing or
 // Perfetto) of every solve's internal spans: standardize, factor/refactor,
 // phase 1/2, warm repair.
+//
+// -metrics dumps the run's accumulated solver counters (refactors, FT
+// updates/rejects, drift/fill refactor reasons, ...) to stderr in
+// Prometheus text format after the run — the same series popserver exports
+// on /metrics.
 package main
 
 import (
@@ -25,8 +33,8 @@ import (
 	"pop/internal/obs"
 )
 
-// benchObs is non-nil only under -trace; solver options carry it so every
-// timed solve emits its span tree into the run trace.
+// benchObs is non-nil under -trace or -metrics; solver options carry it so
+// every timed solve emits its span tree and books its counters.
 var benchObs *obs.Observer
 
 type record struct {
@@ -36,10 +44,17 @@ type record struct {
 	Nonzeros   int     `json:"nonzeros"`
 	DenseNs    int64   `json:"dense_ns"`
 	SparseLUNs int64   `json:"sparselu_ns"`
+	EtaNs      int64   `json:"eta_ns"`
 	Speedup    float64 `json:"speedup"`
 	Objective  float64 `json:"objective"`
 	ObjAgree   bool    `json:"objectives_agree"`
 	Iterations int     `json:"iterations_sparselu"`
+	IterEta    int     `json:"iterations_eta"`
+	// Per-pivot solve cost of the SparseLU backend under the default
+	// Forrest–Tomlin updates and under the legacy eta file: the number the
+	// basis-update work lands in, independent of pivot-count changes.
+	PivotNs    float64 `json:"pivot_ns"`
+	EtaPivotNs float64 `json:"eta_pivot_ns"`
 }
 
 type report struct {
@@ -55,13 +70,20 @@ func main() {
 		reps     = flag.Int("reps", 3, "timed repetitions per backend (best is kept)")
 		seed     = flag.Int64("seed", 1, "instance generator seed")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run's solver spans")
+		metrics  = flag.Bool("metrics", false, "dump accumulated solver metrics (Prometheus text) to stderr after the run")
 	)
 	flag.Parse()
 
 	var tr *obs.Trace
+	var reg *obs.Registry
 	if *traceOut != "" {
 		tr = obs.NewTrace()
-		benchObs = &obs.Observer{Trace: tr}
+	}
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if tr != nil || reg != nil {
+		benchObs = &obs.Observer{Trace: tr, Metrics: reg}
 	}
 	runSpan := benchObs.Span("run")
 
@@ -77,16 +99,24 @@ func main() {
 			Cols:     in.P.NumVariables(),
 			Nonzeros: in.P.NumNonzeros(),
 		}
-		var dObj, sObj float64
-		r.DenseNs, dObj, _ = timeSolve(in.P, lp.Dense, *reps)
-		r.SparseLUNs, sObj, r.Iterations = timeSolve(in.P, lp.SparseLU, *reps)
+		var dObj, sObj, eObj float64
+		r.DenseNs, dObj, _ = timeSolve(in.P, lp.Options{Backend: lp.Dense}, *reps)
+		r.SparseLUNs, sObj, r.Iterations = timeSolve(in.P, lp.Options{Backend: lp.SparseLU}, *reps)
+		r.EtaNs, eObj, r.IterEta = timeSolve(in.P, lp.Options{Backend: lp.SparseLU, Update: lp.EtaUpdate}, *reps)
 		r.Objective = sObj
-		r.ObjAgree = approxEq(dObj, sObj, 1e-6)
+		r.ObjAgree = approxEq(dObj, sObj, 1e-6) && approxEq(eObj, sObj, 1e-6)
 		if r.SparseLUNs > 0 {
 			r.Speedup = float64(r.DenseNs) / float64(r.SparseLUNs)
 		}
-		fmt.Fprintf(os.Stderr, "%-16s rows=%-5d dense=%-12v sparselu=%-12v speedup=%.2fx agree=%v\n",
-			r.Instance, r.Rows, time.Duration(r.DenseNs), time.Duration(r.SparseLUNs), r.Speedup, r.ObjAgree)
+		if r.Iterations > 0 {
+			r.PivotNs = float64(r.SparseLUNs) / float64(r.Iterations)
+		}
+		if r.IterEta > 0 {
+			r.EtaPivotNs = float64(r.EtaNs) / float64(r.IterEta)
+		}
+		fmt.Fprintf(os.Stderr, "%-16s rows=%-5d dense=%-12v sparselu=%-12v eta=%-12v speedup=%.2fx pivot=%.0fns/%.0fns agree=%v\n",
+			r.Instance, r.Rows, time.Duration(r.DenseNs), time.Duration(r.SparseLUNs), time.Duration(r.EtaNs),
+			r.Speedup, r.PivotNs, r.EtaPivotNs, r.ObjAgree)
 		rep.Records = append(rep.Records, r)
 	}
 	runSpan.End()
@@ -105,28 +135,30 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if reg != nil {
+		reg.WritePrometheus(os.Stderr)
 	}
 }
 
 // timeSolve returns the best wall time over reps solves, plus the objective
 // and iteration count for cross-checking.
-func timeSolve(p *lp.Problem, b lp.SolverBackend, reps int) (ns int64, obj float64, iters int) {
+func timeSolve(p *lp.Problem, opts lp.Options, reps int) (ns int64, obj float64, iters int) {
+	opts.Obs = benchObs
 	best := int64(1<<63 - 1)
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		sol, err := p.SolveWithOptions(lp.Options{Backend: b, Obs: benchObs})
+		sol, err := p.SolveWithOptions(opts)
 		el := time.Since(start).Nanoseconds()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lpbench: %v backend failed: %v\n", b, err)
+			fmt.Fprintf(os.Stderr, "lpbench: %v backend failed: %v\n", opts.Backend, err)
 			os.Exit(1)
 		}
 		if sol.Status != lp.Optimal {
-			fmt.Fprintf(os.Stderr, "lpbench: %v backend failed: status=%v\n", b, sol.Status)
+			fmt.Fprintf(os.Stderr, "lpbench: %v backend failed: status=%v\n", opts.Backend, sol.Status)
 			os.Exit(1)
 		}
 		if el < best {

@@ -49,7 +49,9 @@ func TestMaxMinFairnessBasics(t *testing.T) {
 	if min <= 0 {
 		t.Fatalf("min normalized throughput %g", min)
 	}
-	if mean < min {
+	// Tolerance: when every job gets the same ratio (the equal-share
+	// optimum), the summed mean can round one ulp below the min.
+	if mean < min-1e-12*(1+math.Abs(min)) {
 		t.Fatalf("mean %g < min %g", mean, min)
 	}
 }

@@ -46,6 +46,98 @@ func TestDevexPropertyFeasible(t *testing.T) {
 	}
 }
 
+// TestDevexWeightsResetOnInstall: installing a basis snapshot must reset the
+// primal devex reference framework — weights tuned while pricing a previous
+// basis (an earlier start strategy in the same solve, or a SetBasis chain)
+// must not rank pivots for the newly installed one. Regression test for the
+// install paths silently inheriting stale weights.
+func TestDevexWeightsResetOnInstall(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := randomFeasibleLP(rng, 10, 24)
+	sol, err := cloneProblem(p).SolveWithOptions(Options{Backend: SparseLU})
+	if err != nil || sol.Status != Optimal || sol.Basis == nil {
+		t.Fatalf("setup solve: err=%v status=%v", err, sol.Status)
+	}
+
+	s := newSimplex(p, Options{Backend: SparseLU, Devex: true})
+	// Poison the framework as a failed earlier start strategy would leave it.
+	s.devexW = make([]float64, s.ncols)
+	for j := range s.devexW {
+		s.devexW[j] = 1e6 * float64(j+1)
+	}
+	if !s.installBasis(sol.Basis) {
+		t.Fatal("installBasis rejected a fresh optimal snapshot")
+	}
+	for j, w := range s.devexW {
+		if w != 1 {
+			t.Fatalf("devexW[%d] = %g after install, want 1", j, w)
+		}
+	}
+}
+
+// TestDualDevexWeightsResetOnWarmInstall mirrors the primal reset check for
+// the dual reference framework: entering the dual phase through initWarmDual
+// must start from all-ones weights, whatever a previous phase left behind.
+func TestDualDevexWeightsResetOnWarmInstall(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	p := randomFeasibleLP(rng, 10, 24)
+	sol, err := cloneProblem(p).SolveWithOptions(Options{Backend: SparseLU})
+	if err != nil || sol.Status != Optimal || sol.Basis == nil {
+		t.Fatalf("setup solve: err=%v status=%v", err, sol.Status)
+	}
+
+	s := newSimplex(p, Options{Backend: SparseLU})
+	s.dualW = make([]float64, s.m)
+	for i := range s.dualW {
+		s.dualW[i] = 1e6 * float64(i+1)
+	}
+	if !s.initWarmDual(sol.Basis) {
+		t.Fatal("initWarmDual rejected the problem's own optimal basis")
+	}
+	for i, w := range s.dualW {
+		if w != 1 {
+			t.Fatalf("dualW[%d] = %g after dual warm install, want 1", i, w)
+		}
+	}
+}
+
+// TestDevexSetBasisChainAgrees: re-solving through a chain of SetBasis
+// installs with devex pricing on must match the devex-less outcomes — the
+// end-to-end shape of the weight-reset guarantee.
+func TestDevexSetBasisChainAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		p := randomFeasibleLP(rng, 10, 24)
+		m1 := NewModelFromProblem(p)
+		sol, err := m1.SolveWithOptions(Options{Backend: SparseLU, Devex: true})
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("trial %d: err=%v status=%v", trial, err, sol.Status)
+		}
+		snap := sol.Basis
+		for step := 0; step < 4; step++ {
+			v := rng.Intn(p.NumVariables())
+			m1.SetBounds(v, 0, 1+4*rng.Float64())
+			if step%2 == 1 {
+				m1.SetBasis(snap) // jump back to the old snapshot mid-chain
+			}
+			warm, err := m1.SolveWithOptions(Options{Backend: SparseLU, Devex: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := m1.CopyProblem().SolveWithOptions(Options{Backend: SparseLU})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Status != cold.Status {
+				t.Fatalf("trial %d step %d: status %v vs cold %v", trial, step, warm.Status, cold.Status)
+			}
+			if warm.Status == Optimal && !approxEq(warm.Objective, cold.Objective, 1e-6) {
+				t.Fatalf("trial %d step %d: obj %.10g vs cold %.10g", trial, step, warm.Objective, cold.Objective)
+			}
+		}
+	}
+}
+
 // TestDevexWithScalingAndStatuses: devex composes with equilibration and
 // preserves infeasible/unbounded detection.
 func TestDevexWithScalingAndStatuses(t *testing.T) {

@@ -16,10 +16,19 @@
 //     (see below), selected with Options.Backend.
 //   - Pricing is Dantzig (most-negative reduced cost) with an automatic
 //     switch to Bland's rule after a run of degenerate pivots, which
-//     guarantees termination; Options.Devex enables devex pricing.
-//   - The ratio test handles variable bound flips, so boxed variables (the
-//     common case in allocation problems, where 0 ≤ A ≤ 1) never enter the
-//     basis just to move between their bounds.
+//     guarantees termination; Options.Devex enables devex pricing. The dual
+//     phase prices its leaving rows with dual devex reference weights by
+//     default (Options.DualPricing).
+//   - The ratio tests — primal and dual — are Harris-style two-pass bounded
+//     tests: the first pass finds the loosest step admissible with every
+//     competing bound relaxed by the feasibility tolerance, the second takes
+//     the largest-magnitude pivot that fits under it, trading a
+//     tolerance-sized excursion for pivot quality on the degenerate chains
+//     allocation LPs produce. Bland mode keeps the strict one-pass rule its
+//     termination guarantee is proved for. The primal test also handles
+//     variable bound flips, so boxed variables (the common case in
+//     allocation problems, where 0 ≤ A ≤ 1) never enter the basis just to
+//     move between their bounds.
 //
 // # Basis backends
 //
@@ -29,13 +38,26 @@
 // (candidates within 10× of the column's largest magnitude, preferring the
 // row with the fewest nonzeros) — an approximate Markowitz ordering that
 // keeps fill low on the extremely sparse bases granular allocation LPs
-// produce. Each simplex pivot then appends a product-form eta term (the
-// entering column's ftran, split into pivot and off-pivot nonzeros) instead
-// of modifying the factors, so ftran/btran are sparse triangular solves
-// through L, U, and the eta file, and per-iteration cost tracks basis fill
-// rather than m². The factorization is rebuilt from scratch after
-// Options.ReinvertEvery pivots, when the eta file's fill outgrows its
-// budget, or when an update pivot is too small to absorb stably.
+// produce. Each simplex pivot is then absorbed into the stored U in place
+// with a Forrest–Tomlin update: the entering column becomes a spike, the
+// spiked column rotates to the last triangular position, and the leaving
+// row is eliminated by a recorded row transformation — so ftran/btran stay
+// sparse triangular solves through factors whose size tracks actual fill,
+// not pivot count. Options.Update selects the strategy: ForrestTomlin (the
+// default) or EtaUpdate, the legacy product-form eta file that appends the
+// entering column's ftran per pivot and regrows without bound between
+// rebuilds.
+//
+// Refactorization is scheduled adaptively, not just by the fixed
+// Options.ReinvertEvery cadence: the FT path rebuilds when U's fill grows
+// past a budget tied to its post-factorization size, or when a sampled
+// ftran residual ‖B·w − a_q‖∞ drifts past tolerance — measured numerical
+// trouble, caught before it can leak into pivot decisions. An update whose
+// elimination multiplier or final diagonal is too extreme to absorb stably
+// is rejected outright and answered with a refactorization from scratch.
+// The update/reject/refactor-reason counters export through Options.Obs
+// (pop_lp_ft_updates_total, pop_lp_ft_rejects_total,
+// pop_lp_drift_refactors_total, pop_lp_fill_refactors_total).
 //
 // Dense is the reference backend: an explicit dense m×m basis inverse
 // updated by rank-1 eta transformations and rebuilt by Gauss-Jordan
@@ -91,10 +113,20 @@
 //     keep their warm information across membership changes.
 //  4. Re-solve. The model classifies everything that happened since the
 //     last optimal basis and picks the cheapest start that is still sound
-//     (see the dual simplex section); whatever path runs, the outcome
-//     equals a cold solve of a fresh build of the current state — the
-//     mutation-equivalence suite (model_test.go) holds mutate==rebuild to
-//     1e-6 over randomized delta chains.
+//     (see the dual simplex section). Coefficient deltas first pass a
+//     hostile-refresh check with two complementary signals: broad row churn
+//     (a quarter or more of the constraint rows had coefficients rewritten,
+//     so the repair cost approaches a cold start no matter what the reduced
+//     costs say), and optimality rotation (a strided sample of nonbasic
+//     columns priced against the previous solve's duals shows a majority
+//     flipped — the signature of a global input rotation, like an
+//     equal-share denominator shift, even when few entries changed). Either
+//     drops the basis rather than pay a warm repair that costs more than
+//     the cold phase 1 it replaces (booked as
+//     pop_lp_warm_hostile_drops_total). Whatever path runs, the
+//     outcome equals a cold solve of a fresh build of the current state —
+//     the mutation-equivalence suite (model_test.go) holds mutate==rebuild
+//     to 1e-6 over randomized delta chains.
 //
 // A Model is not safe for concurrent use. Options.Scale solves a clone of
 // the cached form (scaling rescales the matrix in place), trading the
@@ -117,7 +149,10 @@
 // reduced-cost ratio keeps every column dual feasible — typically settling
 // a load or capacity shift in a handful of pivots where the primal warm
 // path would run its bound-shifting repair phase and the cold path a full
-// phase 1.
+// phase 1. Leaving rows are ranked violation²/weight under dual devex
+// reference weights (Options.DualPricing; DualDantzig recovers the raw
+// largest-violation rule), and the entering column comes from the dual
+// Harris two-pass ratio test described above.
 //
 // Entry conditions (all must hold, else the solve falls back to the primal
 // warm path and then cold, so outcomes never change):

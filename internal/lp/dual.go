@@ -14,6 +14,15 @@ import "math"
 // pivots where a primal warm repair would grind through a composite
 // phase 1.
 //
+// Leaving-row selection uses dual devex weights by default
+// (Options.DualPricing): rows are ranked by violation²/weight, where the
+// reference-framework weights grow as rows participate in pivots — the dual
+// analogue of the primal devex pricing in simplex.go. Entering-column
+// selection is a Harris two-pass bounded ratio test: pass 1 relaxes every
+// reduced cost by the dual tolerance to find the loosest admissible ratio,
+// pass 2 takes the largest-pivot candidate under it, trading a ≤ TolOpt
+// dual excursion for pivot quality on degenerate chains.
+//
 // Entry is gated by initWarmDual, which rejects (returning the caller to
 // the primal warm path) any start that is not an exact-shape, factorizable,
 // dual-feasible snapshot. dualIterate likewise reports anything other than
@@ -70,6 +79,16 @@ func (s *simplex) initWarmDual(b *Basis) bool {
 			}
 		}
 	}
+	if s.opts.DualPricing.resolve() == DualDevex {
+		// Fresh reference framework per install — weights describe this
+		// basis only.
+		if len(s.dualW) != s.m {
+			s.dualW = make([]float64, s.m)
+		}
+		s.resetDualDevex()
+	} else {
+		s.dualW = nil
+	}
 	return true
 }
 
@@ -92,24 +111,34 @@ func (s *simplex) dualIterate() Status {
 			return IterLimit
 		}
 
-		// Leaving row: the most bound-violating basic variable (Bland mode:
-		// the first, guaranteeing finite termination under degeneracy).
+		// Leaving row: devex-scored bound violation (violation²/weight), raw
+		// largest violation under DualDantzig, first violation under Bland
+		// mode (guaranteeing finite termination under degeneracy).
 		r := -1
 		above := false // true when the violation is past the upper bound
-		worst := tolF
+		worst := 0.0
 		for i := 0; i < s.m; i++ {
 			j := s.basis[i]
-			if v := s.lbOf(j) - s.x[j]; v > worst {
-				r, above, worst = i, false, v
-				if s.blandMode {
-					break
-				}
+			viol, up := 0.0, false
+			if v := s.lbOf(j) - s.x[j]; v > tolF {
+				viol = v
 			}
-			if v := s.x[j] - s.ubOf(j); v > worst {
-				r, above, worst = i, true, v
-				if s.blandMode {
-					break
-				}
+			if v := s.x[j] - s.ubOf(j); v > tolF && v > viol {
+				viol, up = v, true
+			}
+			if viol == 0 {
+				continue
+			}
+			if s.blandMode {
+				r, above = i, up
+				break
+			}
+			score := viol
+			if s.dualW != nil {
+				score = viol * viol / s.dualW[i]
+			}
+			if score > worst {
+				worst, r, above = score, i, up
 			}
 		}
 		if r < 0 {
@@ -131,12 +160,18 @@ func (s *simplex) dualIterate() Status {
 		s.btran()
 		s.bas.btranUnit(r, rho)
 
-		// Entering column: among columns whose movement can absorb the
-		// violation, the one with the smallest dual ratio |d_j|/|α_j| keeps
-		// every reduced cost on its feasible side. Ties prefer the larger
-		// pivot magnitude (Bland mode: the smaller index).
-		q := -1
-		var alphaQ, bestRatio float64
+		// Entering column, Harris two-pass. Pass 1 collects every column
+		// whose movement can absorb the violation and the loosest
+		// admissible ratio (each reduced cost relaxed by the dual
+		// tolerance); pass 2 picks the largest |pivot| among candidates
+		// whose exact ratio fits under it, so degenerate chains pay a
+		// ≤ TolOpt dual excursion instead of a near-zero pivot. Bland
+		// mode keeps the strict smallest-ratio, smallest-index rule.
+		candJ := s.dualCandJ[:0]
+		candA := s.dualCandA[:0]
+		candD := s.dualCandD[:0]
+		thetaMax := math.Inf(1)
+		tolD := s.opts.TolOpt
 		for j := 0; j < s.ncols; j++ {
 			st := s.status[j]
 			if st == statBasic || s.std.lb[j] == s.std.ub[j] {
@@ -162,24 +197,51 @@ func (s *simplex) dualIterate() Status {
 					continue
 				}
 			}
-			ratio := math.Abs(s.reducedCost(j)) / math.Abs(alpha)
-			switch {
-			case q < 0 || ratio < bestRatio-1e-12:
-				q, alphaQ, bestRatio = j, alpha, ratio
-			case ratio <= bestRatio+1e-12:
-				if s.blandMode {
-					if j < q {
-						q, alphaQ = j, alpha
-					}
-				} else if math.Abs(alpha) > math.Abs(alphaQ) {
-					q, alphaQ = j, alpha
-				}
+			dj := math.Abs(s.reducedCost(j))
+			if t := (dj + tolD) / math.Abs(alpha); t < thetaMax {
+				thetaMax = t
 			}
+			candJ = append(candJ, int32(j))
+			candA = append(candA, alpha)
+			candD = append(candD, dj)
 		}
-		if q < 0 {
+		s.dualCandJ, s.dualCandA, s.dualCandD = candJ, candA, candD
+		if len(candJ) == 0 {
 			// No column can absorb the violation: the primal is infeasible
 			// (dual unbounded) — as far as this start can tell.
 			return Infeasible
+		}
+		q := -1
+		var alphaQ, bestRatio, bestPiv float64
+		if s.blandMode {
+			bestRatio = math.Inf(1)
+			for t, j := range candJ {
+				ratio := candD[t] / math.Abs(candA[t])
+				if ratio < bestRatio-1e-12 || (ratio <= bestRatio+1e-12 && (q < 0 || int(j) < q)) {
+					q, alphaQ, bestRatio = int(j), candA[t], ratio
+				}
+			}
+		} else {
+			for t, j := range candJ {
+				a := math.Abs(candA[t])
+				if a <= bestPiv {
+					continue
+				}
+				if ratio := candD[t] / a; ratio <= thetaMax {
+					q, alphaQ, bestRatio, bestPiv = int(j), candA[t], ratio, a
+				}
+			}
+			if q < 0 {
+				// Unreachable barring floating-point corner cases (the exact
+				// minimum ratio always fits under the relaxed bound); take
+				// the strict minimum as the safe answer.
+				bestRatio = math.Inf(1)
+				for t, j := range candJ {
+					if ratio := candD[t] / math.Abs(candA[t]); ratio < bestRatio {
+						q, alphaQ, bestRatio = int(j), candA[t], ratio
+					}
+				}
+			}
 		}
 
 		// Pivot. The ftran'd entering column must agree with the row-wise
@@ -192,6 +254,9 @@ func (s *simplex) dualIterate() Status {
 				continue
 			}
 			return Numerical
+		}
+		if s.dualW != nil {
+			s.updateDualDevex(r)
 		}
 		step := delta / wr
 		for i := 0; i < s.m; i++ {
@@ -235,5 +300,37 @@ func (s *simplex) dualIterate() Status {
 				return Numerical
 			}
 		}
+	}
+}
+
+// updateDualDevex refreshes the dual reference weights after a pivot in row
+// r, reading the entering column's ftran from s.w (so it must run after
+// s.ftran(q) and before the basis update). Weights live on basis positions:
+// position i's weight grows with (w_i/w_r)² relative to the pivot row's, the
+// standard Forrest–Goldfarb recurrence transposed to rows.
+func (s *simplex) updateDualDevex(r int) {
+	wr := s.w[r]
+	wref := s.dualW[r]
+	inv2 := 1 / (wr * wr)
+	maxW := 1.0
+	for i, wi := range s.w {
+		if wi == 0 || i == r {
+			continue
+		}
+		if cand := wi * wi * inv2 * wref; cand > s.dualW[i] {
+			s.dualW[i] = cand
+		}
+		if s.dualW[i] > maxW {
+			maxW = s.dualW[i]
+		}
+	}
+	out := wref * inv2
+	if out < 1 {
+		out = 1
+	}
+	s.dualW[r] = out
+	// Reset the framework when weights blow up (standard devex hygiene).
+	if maxW > 1e8 {
+		s.resetDualDevex()
 	}
 }

@@ -8,43 +8,91 @@ import (
 // luFactor is the sparse basis backend: B is factorized as P·B·Q = L·U by
 // left-looking sparse Gaussian elimination with a Markowitz-style ordering
 // (columns processed sparsest-first, threshold partial pivoting preferring
-// low-count rows), and each subsequent simplex pivot appends a product-form
-// eta term instead of touching the factors. ftran/btran are sparse
-// triangular solves through L, U, and the eta file.
+// low-count rows). Simplex pivots are absorbed by one of two update
+// strategies (Options.Update):
+//
+//   - ForrestTomlin (default): the pivot modifies the stored U in place. The
+//     leaving column is replaced by the entering column's spike, the spiked
+//     row is cyclically rotated to the last triangular position, and its
+//     off-diagonal entries are eliminated by row operations recorded as a
+//     compact row eta. ftran/btran cost stays proportional to the factor's
+//     actual fill, and refactorization is scheduled adaptively: on measured
+//     U fill growth and on ftran residual drift sampled during the solve.
+//
+//   - EtaUpdate (legacy): each pivot appends a product-form eta term and
+//     every solve replays the whole file, refactoring at a fixed fill
+//     cutoff. Kept for differential testing.
 //
 // On granular allocation LPs the basis columns hold only a handful of
 // nonzeros each, so per-iteration solve time scales with factor fill rather
 // than denseFactor's m². Refactorization keeps an O(m²) symbolic scan (the
 // left-looking sweep and pivot search touch every row per column) but with
 // a trivial constant — far below dense Gauss-Jordan's m³ flops.
+//
+// Vector-space bookkeeping for the Forrest–Tomlin mode: L's elimination
+// steps are frozen at refactor time and double as row "handles" for U — row
+// h of the triangular system U·z = L⁻¹P·a is the output of L step h, and
+// handles keep their identity as updates reorder U's triangular structure.
+// perm maps the current triangular order to handles (perm[step] = handle);
+// cperm maps handles to basis positions and never changes between
+// refactorizations (a replaced column keeps its position and its handle).
 type luFactor struct {
-	s *simplex
-	m int
+	s  *simplex
+	m  int
+	ft bool // Forrest–Tomlin updates (default); false = product-form eta file
 
 	// Factorization of the basis at the last refactor. Elimination step t
 	// pivots on original row pr[t] and eliminates the column at basis
 	// position cperm[t]. lcols[t] holds the below-pivot multipliers of L
 	// column t as (original row, value); the unit diagonal is implicit.
-	// ucols[t] holds the above-diagonal entries of U column t as
-	// (elimination step j < t, value); udiag[t] is the pivot.
+	// ucols[h] holds the above-diagonal entries of U column h as
+	// (row handle, value); udiag[h] is the pivot. In eta mode handles and
+	// triangular steps coincide (entries sort below the diagonal step);
+	// in FT mode the triangular order lives in perm/stepOf instead.
 	lcols [][]luEntry
 	ucols [][]luEntry
 	udiag []float64
 	pr    []int
 	cperm []int
 
-	// Product-form updates since the last refactor, oldest first.
+	// Forrest–Tomlin state (allocated only when ft is set). urows mirrors
+	// ucols row-wise: urows[h] holds row h's entries right of the diagonal
+	// as (column handle, value). posH inverts cperm. rowEtas records, in
+	// chronological order, the row eliminations applied to U; each is
+	// applied between the L solve and the U solve during ftran (and
+	// transposed, in reverse, during btran).
+	perm      []int
+	stepOf    []int
+	posH      []int
+	urows     [][]luEntry
+	rowEtas   []rowEta
+	rowEtaNnz int
+	unnz      int // current U fill (diagonal + off-diagonal)
+	unnz0     int // U fill right after the last refactor
+
+	// Adaptive-refactor state: ftrans clocks ftranCol calls so every 64th
+	// one measures the true residual ‖B·w − a_q‖∞; drift latches the
+	// verdict until the next refactor.
+	ftrans int
+	drift  bool
+
+	// Product-form updates since the last refactor, oldest first (eta mode).
 	etas   []etaTerm
 	etaNnz int
 
 	// Scratch: x is row-space (all zeros between calls), g and pos are
-	// elimination/position-space, elim maps original row -> elimination
-	// step (-1 while unpivoted during factor). artInd/artVal back the
-	// one-entry column returned by basisCol for artificials.
-	x, g, pos []float64
-	elim      []int
-	artInd    [1]int32
-	artVal    [1]float64
+	// handle/position-space, elim maps original row -> elimination
+	// step (-1 while unpivoted during factor). spike/rowAcc are FT
+	// handle-space accumulators with their touched-index lists tlist/rlist.
+	// artInd/artVal back the one-entry column returned by basisCol for
+	// artificials.
+	x, g, pos    []float64
+	elim         []int
+	spike        []float64
+	rowAcc       []float64
+	tlist, rlist []int
+	artInd       [1]int32
+	artVal       [1]float64
 }
 
 type luEntry struct {
@@ -52,19 +100,28 @@ type luEntry struct {
 	val float64
 }
 
-// etaTerm records one pivot: the entering column's ftran w, split into the
-// pivot element w[r] and the remaining nonzeros.
+// etaTerm records one product-form pivot: the entering column's ftran w,
+// split into the pivot element w[r] and the remaining nonzeros.
 type etaTerm struct {
 	r    int
 	piv  float64
 	ents []luEntry
 }
 
+// rowEta records one Forrest–Tomlin row elimination: row `target` of the
+// spiked U had each row h in ents subtracted from it with multiplier val,
+// leaving only its new diagonal.
+type rowEta struct {
+	target int
+	ents   []luEntry
+}
+
 func newLUFactor(s *simplex) *luFactor {
 	m := s.m
 	return &luFactor{
 		s: s, m: m,
-		x: make([]float64, m), g: make([]float64, m), pos: make([]float64, m),
+		ft: s.opts.Update.resolve() == ForrestTomlin,
+		x:  make([]float64, m), g: make([]float64, m), pos: make([]float64, m),
 		elim: make([]int, m),
 	}
 }
@@ -86,6 +143,10 @@ func (f *luFactor) refactor() bool {
 	m := f.m
 	f.etas = f.etas[:0]
 	f.etaNnz = 0
+	f.rowEtas = f.rowEtas[:0]
+	f.rowEtaNnz = 0
+	f.ftrans = 0
+	f.drift = false
 	if f.lcols == nil {
 		f.lcols = make([][]luEntry, m)
 		f.ucols = make([][]luEntry, m)
@@ -189,15 +250,50 @@ func (f *luFactor) refactor() bool {
 		f.lcols[t] = lcol
 		f.ucols[t] = ucol
 	}
+	if f.ft {
+		f.initFT()
+	}
 	return true
 }
 
-// solveLU solves B₀ x = v for the refactored basis (ignoring etas): v enters
-// in row space and leaves in position space.
+// initFT (re)derives the Forrest–Tomlin bookkeeping from a fresh
+// factorization: identity triangular order, the row-wise mirror of U, the
+// position→handle map, and the fill baseline the adaptive refactor trigger
+// measures growth against.
+func (f *luFactor) initFT() {
+	m := f.m
+	if f.perm == nil {
+		f.perm = make([]int, m)
+		f.stepOf = make([]int, m)
+		f.posH = make([]int, m)
+		f.urows = make([][]luEntry, m)
+		f.spike = make([]float64, m)
+		f.rowAcc = make([]float64, m)
+	}
+	nnz := m // diagonal
+	for h := 0; h < m; h++ {
+		f.perm[h] = h
+		f.stepOf[h] = h
+		f.posH[f.cperm[h]] = h
+		f.urows[h] = f.urows[h][:0]
+	}
+	for h := 0; h < m; h++ {
+		for _, e := range f.ucols[h] {
+			f.urows[e.idx] = append(f.urows[e.idx], luEntry{int32(h), e.val})
+		}
+		nnz += len(f.ucols[h])
+	}
+	f.unnz = nnz
+	f.unnz0 = nnz
+}
+
+// solveLU solves B₀ x = v through L, the row etas, and U: v enters in row
+// space and leaves in position space. (In eta mode there are no row etas
+// and the product-form file is applied by the caller afterwards.)
 func (f *luFactor) solveLU(v []float64) {
 	m := f.m
 	g := f.g
-	// Forward: L y = v.
+	// Forward: L y = v. The output is handle-indexed (handles are L steps).
 	for t := 0; t < m; t++ {
 		yt := v[f.pr[t]]
 		g[t] = yt
@@ -207,13 +303,37 @@ func (f *luFactor) solveLU(v []float64) {
 			}
 		}
 	}
-	// Backward: U z = y (column-oriented).
-	for t := m - 1; t >= 0; t-- {
-		zt := g[t] / f.udiag[t]
-		g[t] = zt
-		if zt != 0 {
-			for _, e := range f.ucols[t] {
-				g[e.idx] -= e.val * zt
+	if f.ft {
+		// Row etas in chronological order: each one replays the elimination
+		// of a spiked row on the right-hand side.
+		for i := range f.rowEtas {
+			e := &f.rowEtas[i]
+			acc := g[e.target]
+			for _, t := range e.ents {
+				acc -= t.val * g[t.idx]
+			}
+			g[e.target] = acc
+		}
+		// Backward: U z = y, columns visited in reverse triangular order.
+		for ti := m - 1; ti >= 0; ti-- {
+			h := f.perm[ti]
+			zt := g[h] / f.udiag[h]
+			g[h] = zt
+			if zt != 0 {
+				for _, e := range f.ucols[h] {
+					g[e.idx] -= e.val * zt
+				}
+			}
+		}
+	} else {
+		// Backward: U z = y (column-oriented, steps ≡ handles).
+		for t := m - 1; t >= 0; t-- {
+			zt := g[t] / f.udiag[t]
+			g[t] = zt
+			if zt != 0 {
+				for _, e := range f.ucols[t] {
+					g[e.idx] -= e.val * zt
+				}
 			}
 		}
 	}
@@ -224,21 +344,44 @@ func (f *luFactor) solveLU(v []float64) {
 	copy(v, f.pos)
 }
 
-// solveLUT solves B₀ᵀ y = c: c enters in position space and leaves in row
-// space.
+// solveLUT solves B₀ᵀ y = c through Uᵀ, the transposed row etas, and Lᵀ:
+// c enters in position space and leaves in row space.
 func (f *luFactor) solveLUT(c []float64) {
 	m := f.m
 	g := f.g
 	for t := 0; t < m; t++ {
 		g[t] = c[f.cperm[t]]
 	}
-	// Forward: Uᵀ g' = g.
-	for t := 0; t < m; t++ {
-		acc := g[t]
-		for _, e := range f.ucols[t] {
-			acc -= e.val * g[e.idx]
+	if f.ft {
+		// Forward: Uᵀ g' = g in triangular order.
+		for ti := 0; ti < m; ti++ {
+			h := f.perm[ti]
+			acc := g[h]
+			for _, e := range f.ucols[h] {
+				acc -= e.val * g[e.idx]
+			}
+			g[h] = acc / f.udiag[h]
 		}
-		g[t] = acc / f.udiag[t]
+		// Transposed row etas in reverse chronological order: each spreads
+		// the target component back over its eliminators.
+		for i := len(f.rowEtas) - 1; i >= 0; i-- {
+			e := &f.rowEtas[i]
+			gt := g[e.target]
+			if gt != 0 {
+				for _, t := range e.ents {
+					g[t.idx] -= t.val * gt
+				}
+			}
+		}
+	} else {
+		// Forward: Uᵀ g' = g (steps ≡ handles).
+		for t := 0; t < m; t++ {
+			acc := g[t]
+			for _, e := range f.ucols[t] {
+				acc -= e.val * g[e.idx]
+			}
+			g[t] = acc / f.udiag[t]
+		}
 	}
 	// Backward: Lᵀ y = g'. L column t touches only rows pivoted later, so
 	// a descending sweep resolves every dependency.
@@ -252,7 +395,7 @@ func (f *luFactor) solveLUT(c []float64) {
 }
 
 // applyEtasFtran applies E_k⁻¹…E_1⁻¹ in chronological order to the
-// position-space vector v.
+// position-space vector v (eta mode only; the list is empty under FT).
 func (f *luFactor) applyEtasFtran(v []float64) {
 	for i := range f.etas {
 		e := &f.etas[i]
@@ -286,25 +429,6 @@ func (f *luFactor) ftranDense(v []float64) {
 	f.applyEtasFtran(v)
 }
 
-func (f *luFactor) ftranCol(q int, w []float64) {
-	s := f.s
-	x := f.x
-	if q >= s.artStart {
-		k := q - s.artStart
-		x[k] = s.artSign[k]
-	} else {
-		ind, val := s.std.col(q)
-		for t, r := range ind {
-			x[r] = val[t]
-		}
-	}
-	copy(w, x)
-	for i := range x {
-		x[i] = 0
-	}
-	f.ftranDense(w)
-}
-
 func (f *luFactor) btranCost(y []float64) {
 	s := f.s
 	for i := 0; i < f.m; i++ {
@@ -323,7 +447,85 @@ func (f *luFactor) btranUnit(r int, z []float64) {
 	f.solveLUT(z)
 }
 
+func (f *luFactor) ftranCol(q int, w []float64) {
+	s := f.s
+	x := f.x
+	if q >= s.artStart {
+		k := q - s.artStart
+		x[k] = s.artSign[k]
+	} else {
+		ind, val := s.std.col(q)
+		for t, r := range ind {
+			x[r] = val[t]
+		}
+	}
+	copy(w, x)
+	for i := range x {
+		x[i] = 0
+	}
+	f.ftranDense(w)
+	if f.ft && !f.drift {
+		// Sampled drift measurement: every 64th column solve verifies the
+		// factorization against the actual basis by computing the true
+		// residual B·w − a_q. Exceeding the tolerance latches `drift`, and
+		// wantRefactor schedules a rebuild before the next pivot.
+		f.ftrans++
+		if f.ftrans&63 == 0 {
+			f.measureDrift(q, w)
+		}
+	}
+}
+
+// measureDrift computes r = B·w − a_q in row space and latches f.drift when
+// ‖r‖∞ is out of proportion to the operands — the honest signal that the
+// accumulated updates have degraded the factorization.
+func (f *luFactor) measureDrift(q int, w []float64) {
+	s := f.s
+	x := f.x // all zeros on entry; restored to zeros before returning
+	wmax := 0.0
+	for p := 0; p < f.m; p++ {
+		wp := w[p]
+		if wp == 0 {
+			continue
+		}
+		if a := math.Abs(wp); a > wmax {
+			wmax = a
+		}
+		ind, val := f.basisCol(p)
+		for t, r := range ind {
+			x[r] += val[t] * wp
+		}
+	}
+	amax := 0.0
+	if q >= s.artStart {
+		k := q - s.artStart
+		x[k] -= s.artSign[k]
+		amax = 1
+	} else {
+		ind, val := s.std.col(q)
+		for t, r := range ind {
+			x[r] -= val[t]
+			if a := math.Abs(val[t]); a > amax {
+				amax = a
+			}
+		}
+	}
+	res := 0.0
+	for i := range x {
+		if a := math.Abs(x[i]); a > res {
+			res = a
+		}
+		x[i] = 0
+	}
+	if res > 1e-9*(1+amax+wmax) {
+		f.drift = true
+	}
+}
+
 func (f *luFactor) update(leave int, w []float64) bool {
+	if f.ft {
+		return f.updateFT(leave, w)
+	}
 	piv := w[leave]
 	if math.Abs(piv) < 1e-11 {
 		return false
@@ -339,8 +541,178 @@ func (f *luFactor) update(leave int, w []float64) bool {
 	return true
 }
 
-// wantRefactor triggers an early refactorization once the eta file's fill
-// outweighs the cost of refactoring (solve cost grows linearly with it).
+// updateFT folds one pivot into the stored factors in place. The column at
+// handle h0 (basis position `leave`) is replaced by the entering column's
+// spike s = U·w (w already solved through the whole factorization, so U·w
+// re-expresses it in the factor's internal frame), h0 is rotated to the
+// last triangular position, and the now out-of-place old row h0 is
+// eliminated by row operations recorded as one rowEta. Returns false —
+// leaving the caller to refactor from scratch, which rebuilds all state —
+// when the elimination is numerically unstable (huge multiplier) or the
+// final diagonal is negligible.
+func (f *luFactor) updateFT(leave int, w []float64) bool {
+	m := f.m
+	h0 := f.posH[leave]
+
+	// Spike: s = U·(w gathered into handle space).
+	s := f.spike
+	touched := f.tlist[:0]
+	for p := 0; p < m; p++ {
+		zp := w[p]
+		if zp == 0 {
+			continue
+		}
+		h := f.posH[p]
+		if s[h] == 0 {
+			touched = append(touched, h)
+		}
+		s[h] += f.udiag[h] * zp
+		for _, e := range f.ucols[h] {
+			if s[e.idx] == 0 {
+				touched = append(touched, int(e.idx))
+			}
+			s[e.idx] += e.val * zp
+		}
+	}
+	f.tlist = touched[:0]
+
+	// Drop the old column h0 — the spike replaces it wholesale — and detach
+	// the old row h0 from the column lists; its entries seed the
+	// elimination below.
+	for _, e := range f.ucols[h0] {
+		f.urows[e.idx] = removeHandle(f.urows[e.idx], h0)
+	}
+	f.unnz -= len(f.ucols[h0])
+	f.ucols[h0] = f.ucols[h0][:0]
+
+	oldRow := f.urows[h0]
+	racc := f.rowAcc
+	rtouch := f.rlist[:0]
+	for _, e := range oldRow {
+		f.ucols[e.idx] = removeHandle(f.ucols[e.idx], h0)
+		racc[e.idx] = e.val
+		rtouch = append(rtouch, int(e.idx))
+	}
+	f.unnz -= len(oldRow)
+	f.urows[h0] = oldRow[:0]
+
+	// Cyclic rotation: handles between h0's old step and the end shift one
+	// step earlier; h0 becomes the last step.
+	t0 := f.stepOf[h0]
+	for t := t0; t < m-1; t++ {
+		h := f.perm[t+1]
+		f.perm[t] = h
+		f.stepOf[h] = t
+	}
+	f.perm[m-1] = h0
+	f.stepOf[h0] = m - 1
+
+	// Install the spike as the new column h0 (every other handle now sits
+	// at an earlier step, so all entries are above the diagonal). Scratch
+	// is zeroed as it is consumed, which also makes duplicate touched
+	// indices harmless.
+	d := s[h0]
+	ucol := f.ucols[h0]
+	for _, h := range touched {
+		v := s[h]
+		s[h] = 0
+		if v == 0 || h == h0 {
+			continue
+		}
+		ucol = append(ucol, luEntry{int32(h), v})
+		f.urows[h] = append(f.urows[h], luEntry{int32(h0), v})
+	}
+	f.ucols[h0] = ucol
+	f.unnz += len(ucol)
+
+	// Eliminate the old row h0 against rows t0..m-2 in triangular order.
+	// Entries the row ops place in column h0 fold into the new diagonal d;
+	// everything else is fill tracked in racc. Entries below the drop
+	// tolerance are discarded (the sampled drift check guards the
+	// accumulated error).
+	var ents []luEntry
+	for t := t0; t < m-1; t++ {
+		h := f.perm[t]
+		v := racc[h]
+		if v == 0 {
+			continue
+		}
+		racc[h] = 0
+		if math.Abs(v) <= 1e-13 {
+			continue
+		}
+		mult := v / f.udiag[h]
+		if math.Abs(mult) > 1e7 {
+			for _, rr := range rtouch {
+				racc[rr] = 0
+			}
+			f.rlist = rtouch[:0]
+			f.s.ftRejects++
+			f.s.opts.Obs.Instant("lp.ft-reject", nil)
+			return false
+		}
+		ents = append(ents, luEntry{int32(h), mult})
+		for _, e := range f.urows[h] {
+			if int(e.idx) == h0 {
+				d -= mult * e.val
+			} else {
+				if racc[e.idx] == 0 {
+					rtouch = append(rtouch, int(e.idx))
+				}
+				racc[e.idx] -= mult * e.val
+			}
+		}
+	}
+	for _, rr := range rtouch {
+		racc[rr] = 0
+	}
+	f.rlist = rtouch[:0]
+
+	if math.Abs(d) < 1e-11 {
+		f.s.ftRejects++
+		f.s.opts.Obs.Instant("lp.ft-reject", nil)
+		return false
+	}
+	f.udiag[h0] = d
+	if len(ents) > 0 {
+		f.rowEtas = append(f.rowEtas, rowEta{target: h0, ents: ents})
+		f.rowEtaNnz += len(ents)
+	}
+	f.s.ftUpdates++
+	return true
+}
+
+// removeHandle swap-removes the entry with index h from ents (entry order
+// within U rows/columns is not meaningful).
+func removeHandle(ents []luEntry, h int) []luEntry {
+	for t := range ents {
+		if int(ents[t].idx) == h {
+			last := len(ents) - 1
+			ents[t] = ents[last]
+			return ents[:last]
+		}
+	}
+	return ents
+}
+
+// wantRefactor triggers an early refactorization. FT mode is adaptive:
+// measured ftran residual drift, or the factor's live fill (U plus the row
+// eta file) outgrowing the post-refactor baseline. Eta mode keeps the
+// legacy fixed cutoff on the product-form file. The trigger fires at most
+// once per rebuild (the callers refactor immediately), so the counters
+// book one refactor reason each.
 func (f *luFactor) wantRefactor() bool {
-	return f.etaNnz > 10*f.m+1000
+	if !f.ft {
+		return f.etaNnz > 10*f.m+1000
+	}
+	if f.drift {
+		f.s.driftRefactors++
+		f.s.opts.Obs.Instant("lp.drift-refactor", nil)
+		return true
+	}
+	if f.unnz+f.rowEtaNnz > 2*f.unnz0+4*f.m+64 {
+		f.s.fillRefactors++
+		return true
+	}
+	return false
 }

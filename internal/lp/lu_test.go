@@ -219,24 +219,28 @@ func TestLUReinvertCadenceAgrees(t *testing.T) {
 	}
 }
 
-// TestLUEtaFileTriggersRefactor: the fill-based refactor trigger must fire
-// once the eta file grows past its budget.
-func TestLUEtaFileTriggersRefactor(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
-	s, f := solvedLU(t, rng, 8, 14, Options{})
-	if f.wantRefactor() {
-		t.Fatal("fresh factorization already wants refactor")
-	}
-	w := make([]float64, s.m)
-	for i := range w {
-		w[i] = 1
-	}
-	for i := 0; !f.wantRefactor(); i++ {
-		if !f.update(i%s.m, w) {
-			t.Fatal("update rejected a unit pivot")
+// TestLUFillTriggersRefactor: the fill-based refactor trigger must fire in
+// both update modes once accumulated update storage outgrows its budget —
+// the eta file past its nnz cutoff, the Forrest–Tomlin U past its
+// fill-growth bound.
+func TestLUFillTriggersRefactor(t *testing.T) {
+	for _, upd := range []UpdateStrategy{ForrestTomlin, EtaUpdate} {
+		rng := rand.New(rand.NewSource(17))
+		s, f := solvedLU(t, rng, 8, 14, Options{Update: upd})
+		if f.wantRefactor() {
+			t.Fatalf("%v: fresh factorization already wants refactor", upd)
 		}
-		if i > 100*s.m {
-			t.Fatal("eta fill trigger never fired")
+		w := make([]float64, s.m)
+		for i := range w {
+			w[i] = 1
+		}
+		for i := 0; !f.wantRefactor(); i++ {
+			if !f.update(i%s.m, w) {
+				t.Fatalf("%v: update rejected a unit pivot", upd)
+			}
+			if i > 100*s.m {
+				t.Fatalf("%v: fill trigger never fired", upd)
+			}
 		}
 	}
 }

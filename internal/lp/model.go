@@ -2,6 +2,7 @@ package lp
 
 import (
 	"fmt"
+	"maps"
 	"math"
 	"slices"
 )
@@ -41,6 +42,19 @@ type Model struct {
 	sharedMatrix bool
 
 	basis *Basis // last optimal basis (model-owned copy), spliced across structural edits
+	lastY []float64
+	// lastY holds the shadow prices (original orientation, one per
+	// constraint) from the solve that produced basis — the price sheet
+	// warmHostile samples incoming coefficients against to decide whether
+	// the basis is still worth a warm repair.
+
+	// touchedRows is the set of constraint rows with at least one matrix
+	// coefficient whose value actually changed since basis was stored —
+	// warmHostile's churn-volume signal. Warm-repair cost tracks how many
+	// rows moved under the basic columns, so broad row churn marks the
+	// basis hostile regardless of reduced-cost signs.
+	touchedRows map[int]struct{}
+
 	// Delta classes applied since basis was taken. rhs/bound edits need no
 	// flag: the dual path is eligible whenever neither of these is set.
 	sinceCoeff  bool // A or c values changed
@@ -99,6 +113,8 @@ func (m *Model) Clone() *Model {
 		},
 		stdDirty:    m.stdDirty,
 		basis:       m.basis.Clone(),
+		lastY:       append([]float64(nil), m.lastY...),
+		touchedRows: maps.Clone(m.touchedRows),
 		sinceCoeff:  m.sinceCoeff,
 		sinceStruct: m.sinceStruct,
 	}
@@ -168,7 +184,7 @@ func (m *Model) HasBasis() bool { return m.basis != nil }
 // ForgetBasis discards the stored basis, forcing the next solve to start
 // cold. Benchmark baselines and churn-heavy callers (where a stale basis
 // loses to a fresh phase 1) use this; it never changes solve outcomes.
-func (m *Model) ForgetBasis() { m.basis = nil }
+func (m *Model) ForgetBasis() { m.basis, m.lastY, m.touchedRows = nil, nil, nil }
 
 // Basis returns a copy of the basis snapshot the next solve would
 // warm-start from (the last optimal solve's basis, or whatever SetBasis
@@ -194,7 +210,12 @@ func (m *Model) Basis() *Basis { return m.basis.Clone() }
 // snapshot can be installed into any number of models (the parallel
 // search's workers install the same parent snapshot concurrently) and
 // later caller-side mutation of it cannot corrupt a solve.
-func (m *Model) SetBasis(b *Basis) { m.basis = b.Clone() }
+func (m *Model) SetBasis(b *Basis) {
+	m.basis = b.Clone()
+	// The snapshot's shadow prices are unknown, so the hostile-refresh
+	// sampler stays quiet until the next optimal solve records a fresh set.
+	m.lastY = nil
+}
 
 // AddVariable appends a variable with objective coefficient c and bounds
 // [lb, ub], returning its index.
@@ -434,6 +455,7 @@ func (m *Model) SetCoeff(row, v int, coef float64) {
 		m.p.nnz++
 		m.stdDirty = true
 		m.sinceCoeff = true
+		m.touchRow(row)
 		return
 	}
 	if cur == coef {
@@ -450,6 +472,7 @@ func (m *Model) SetCoeff(row, v int, coef float64) {
 		m.std.setEntry(row, v, coef)
 	}
 	m.sinceCoeff = true
+	m.touchRow(row)
 }
 
 // SetCoeffs overwrites the coefficients of several variables in constraint
@@ -546,7 +569,21 @@ func (m *Model) SetCoeffs(row int, idx []int, val []float64) {
 	}
 	if changed {
 		m.sinceCoeff = true
+		m.touchRow(row)
 	}
+}
+
+// touchRow books a value-level coefficient change in a constraint row for
+// warmHostile's churn-volume signal. Only meaningful while a basis is
+// stored; the set resets whenever a new basis is taken or forgotten.
+func (m *Model) touchRow(row int) {
+	if m.basis == nil {
+		return
+	}
+	if m.touchedRows == nil {
+		m.touchedRows = make(map[int]struct{})
+	}
+	m.touchedRows[row] = struct{}{}
 }
 
 // structEdit books a structural change: the standardized form must be
@@ -604,8 +641,19 @@ func (m *Model) SolveWithOptions(opts Options) (*Solution, error) {
 		sp.End()
 	}
 	if opts.WarmBasis == nil && m.basis != nil {
-		opts.WarmBasis = m.basis
-		opts.Dual = !m.sinceCoeff && !m.sinceStruct
+		if m.warmHostile() {
+			// The coefficient deltas since the basis was taken rotated the
+			// optimality picture wholesale: a sampled majority of nonbasic
+			// columns now price in. Repairing that basis costs more pivots
+			// than the fresh phase 1 it would replace, so drop it.
+			opts.Obs.Instant("lp.warm-hostile", nil)
+			opts.Obs.Counter("pop_lp_warm_hostile_drops_total",
+				"stale bases dropped by the hostile-refresh sampler").Inc()
+			m.ForgetBasis()
+		} else {
+			opts.WarmBasis = m.basis
+			opts.Dual = !m.sinceCoeff && !m.sinceStruct
+		}
 	}
 	sol := m.run(opts)
 	if sol.Status == Numerical && (opts.Backend.resolve() != Dense || opts.WarmBasis != nil) {
@@ -622,12 +670,96 @@ func (m *Model) SolveWithOptions(opts Options) (*Solution, error) {
 		// retaining the caller's pointer would let those edits corrupt the
 		// caller's snapshot, and vice versa.
 		m.basis = sol.Basis.Clone()
+		m.lastY = append(m.lastY[:0], sol.Dual...)
 		m.sinceCoeff = false
 		m.sinceStruct = false
+		clear(m.touchedRows)
 	} else if sol.Status != Optimal {
-		m.basis = nil
+		m.ForgetBasis()
 	}
 	return sol, nil
+}
+
+// warmHostile reports whether the coefficient edits applied since the stored
+// basis was taken have made it warm-hostile: repairing the basis would cost
+// more pivots than the cold phase 1 it replaces. Two complementary signals:
+//
+//   - Churn volume: a quarter or more of the constraint rows had
+//     coefficients rewritten. The repair cost scales with how much of the
+//     matrix moved under the basic columns regardless of reduced-cost signs.
+//   - Optimality rotation: a strided sample of nonbasic structural columns
+//     priced against the previous solve's shadow prices — d_j = c_j − yᵀa_j,
+//     all in the current (already-patched) standardized form — shows a
+//     majority of per-status dual violations: the "every denominator rotated
+//     at once" signature of a global input shift, even when few entries
+//     changed (e.g. an objective-only rotation). A handful flipping is an
+//     ordinary local delta the warm repair absorbs in a few pivots.
+//
+// The sampler replaces the per-adapter fingerprint heuristics the online
+// engines used to hand-tune: it reads the actual incoming coefficients, so
+// any caller's global rotation is caught without domain knowledge. Dropping
+// a basis never changes solve outcomes, only which start the solver tries
+// first, so false negatives and positives cost time, not correctness.
+func (m *Model) warmHostile() bool {
+	if !m.sinceCoeff || m.sinceStruct || m.stdDirty {
+		// Only value-level coefficient deltas qualify: structural edits
+		// already route to shape repair, and rhs/bound deltas never move
+		// reduced costs.
+		return false
+	}
+	// Churn-volume signal: when a quarter or more of the constraint rows
+	// had coefficients rewritten, the basic solution the snapshot implies
+	// is wrong across much of the basis — repair cost tracks how many rows
+	// moved under the basic columns, whether or not any reduced-cost signs
+	// flipped, and at that churn the repair pivot chain approaches the cold
+	// phase 1 it would replace. Broad per-member churn in the space-sharing
+	// pair layout is the canonical case: most fairness and capacity rows
+	// are rewritten, dual feasibility barely moves, and the warm repair
+	// still loses to a cold start. The minimum count keeps small models on
+	// the warm path: their repair is cheap enough that dropping never pays.
+	if t := len(m.touchedRows); t >= 8 && 4*t >= m.p.NumConstraints() {
+		return true
+	}
+	std := m.std
+	if len(m.lastY) != std.m || len(m.basis.VarStatus) != std.n {
+		return false
+	}
+	const maxSample = 96
+	stride := std.n / maxSample
+	if stride < 1 {
+		stride = 1
+	}
+	sampled, viol := 0, 0
+	for j := 0; j < std.n && sampled < maxSample; j += stride {
+		st := m.basis.VarStatus[j]
+		if st == BasisBasic || std.lb[j] == std.ub[j] {
+			continue
+		}
+		// std.c is in internal (minimize) orientation; lastY is original
+		// orientation, so objSign converts it.
+		d := std.c[j]
+		ind, val := std.col(j)
+		for t, i := range ind {
+			d -= std.objSign * m.lastY[i] * val[t]
+		}
+		sampled++
+		tol := 1e-6 * (1 + math.Abs(std.c[j]))
+		switch st {
+		case BasisLower:
+			if d < -tol {
+				viol++
+			}
+		case BasisUpper:
+			if d > tol {
+				viol++
+			}
+		default: // BasisFree
+			if math.Abs(d) > tol {
+				viol++
+			}
+		}
+	}
+	return sampled >= 8 && 2*viol >= sampled
 }
 
 // run executes one simplex attempt over the cached standardized form.

@@ -15,6 +15,10 @@ func (s *simplex) bookSolve(o *obs.Observer, sol *Solution, dur time.Duration) {
 	o.Counter("pop_lp_pivots_total", "simplex pivots across all solves").Add(int64(sol.Iterations))
 	o.Counter("pop_lp_dual_pivots_total", "dual simplex pivots across all solves").Add(int64(sol.DualPivots))
 	o.Counter("pop_lp_refactors_total", "mid-solve basis refactorizations").Add(int64(s.refactors))
+	o.Counter("pop_lp_ft_updates_total", "Forrest–Tomlin basis updates absorbed in place").Add(int64(s.ftUpdates))
+	o.Counter("pop_lp_ft_rejects_total", "Forrest–Tomlin updates rejected as unstable").Add(int64(s.ftRejects))
+	o.Counter("pop_lp_drift_refactors_total", "refactorizations triggered by measured ftran residual drift").Add(int64(s.driftRefactors))
+	o.Counter("pop_lp_fill_refactors_total", "refactorizations triggered by U fill growth").Add(int64(s.fillRefactors))
 	if sol.WarmStarted {
 		o.Counter("pop_lp_warm_solves_total", "solves that started from a warm basis").Inc()
 	} else if s.opts.WarmBasis != nil {

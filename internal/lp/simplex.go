@@ -53,9 +53,23 @@ type simplex struct {
 	devexW   []float64
 	devexRow []float64
 
+	// Dual devex reference weights over basis positions (nil unless the
+	// dual phase runs with devex pricing); see initWarmDual.
+	dualW []float64
+
+	// Harris dual ratio test scratch: eligible entering candidates stashed
+	// by the relaxed pass so the exact pass need not recompute pivot rows.
+	dualCandJ []int32
+	dualCandA []float64
+	dualCandD []float64
+
 	iters          int
 	dualPivots     int
 	refactors      int // reinvert() calls, booked to metrics at solve end
+	ftUpdates      int // Forrest–Tomlin updates absorbed in place
+	ftRejects      int // FT updates rejected as unstable (answered by refactor)
+	driftRefactors int // refactors triggered by measured ftran residual drift
+	fillRefactors  int // refactors triggered by U fill growth
 	sinceReinvert  int
 	degenerateRun  int
 	blandMode      bool
@@ -241,7 +255,10 @@ func (s *simplex) solutionFinite() bool {
 // resetStart returns the solver to a pristine pre-start state after a
 // rejected or failed warm/dual start, so the next start strategy behaves
 // exactly as if it had been the first: full iteration budget, clean
-// numerical-trouble flag, no dual pivots booked.
+// numerical-trouble flag, no dual pivots booked, and pricing weights back
+// at the reference framework — weights drifted during a failed start refer
+// to a basis the next strategy will not install, so carrying them over
+// would silently mis-rank its first pivots.
 func (s *simplex) resetStart() {
 	s.iters = 0
 	s.dualPivots = 0
@@ -249,6 +266,12 @@ func (s *simplex) resetStart() {
 	s.warmStarted = false
 	s.degenerateRun = 0
 	s.blandMode = s.opts.BlandOnly
+	if s.devexW != nil {
+		s.resetDevex()
+	}
+	if s.dualW != nil {
+		s.resetDualDevex()
+	}
 }
 
 // solveUnconstrained handles models with no constraints: each variable moves
@@ -367,8 +390,7 @@ func (s *simplex) initPhase1() {
 	s.w = make([]float64, m)
 	s.rhs = make([]float64, m)
 	if s.opts.Devex {
-		s.devexW = make([]float64, s.ncols)
-		s.resetDevex()
+		s.initDevex()
 	}
 	// The starting basis is diagonal (slacks and artificials only), so the
 	// initial factorization cannot fail.
@@ -382,11 +404,28 @@ func (s *simplex) initPhase1() {
 	sp.End()
 }
 
+// initDevex (re)establishes the primal reference framework for a fresh
+// start. Every basis-install path goes through here so weights from an
+// earlier (possibly different) basis never leak into a new start.
+func (s *simplex) initDevex() {
+	if len(s.devexW) != s.ncols {
+		s.devexW = make([]float64, s.ncols)
+	}
+	s.resetDevex()
+}
+
 // resetDevex restores the reference framework (all weights 1), done at
 // start and whenever the weights have drifted too far to be trustworthy.
 func (s *simplex) resetDevex() {
 	for j := range s.devexW {
 		s.devexW[j] = 1
+	}
+}
+
+// resetDualDevex restores the dual reference framework (all row weights 1).
+func (s *simplex) resetDualDevex() {
+	for i := range s.dualW {
+		s.dualW[i] = 1
 	}
 }
 
@@ -621,7 +660,109 @@ func (s *simplex) ftran(q int) {
 // ratioTest finds how far the entering variable q can move in direction
 // sigma. It returns the leaving row position (or -1), the step length, and
 // whether the step is a bound flip of q itself.
+//
+// The default is a Harris-style two-pass bounded test: pass 1 computes the
+// largest step every basic variable tolerates with its bound relaxed by the
+// feasibility tolerance; pass 2 picks, among the rows whose exact ratio
+// fits under that relaxed step, the one with the largest pivot magnitude.
+// Degenerate vertices thus cost a tiny (≤ tolF) bound excursion instead of
+// a tiny pivot, which is where eta/FT update instability is born. Bland
+// mode keeps the strict smallest-ratio test for its termination guarantee.
 func (s *simplex) ratioTest(q int, sigma float64) (leave int, tmax float64, flip bool) {
+	if s.blandMode {
+		return s.ratioTestBland(q, sigma)
+	}
+	tolP := s.opts.TolPivot
+	tolF := s.opts.TolFeas
+
+	// Pass 1: relaxed step bound.
+	thetaR := math.Inf(1)
+	for i := 0; i < s.m; i++ {
+		wi := s.w[i] * sigma
+		if math.Abs(wi) <= tolP {
+			continue
+		}
+		bcol := s.basis[i]
+		xb := s.x[bcol]
+		var t float64
+		if wi > 0 {
+			lb := s.lbOf(bcol)
+			if math.IsInf(lb, -1) {
+				continue
+			}
+			t = (xb - lb + tolF) / wi
+		} else {
+			ub := s.ubOf(bcol)
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			t = (ub - xb + tolF) / (-wi)
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t < thetaR {
+			thetaR = t
+		}
+	}
+
+	// A bound flip of q itself wins whenever its distance fits under the
+	// relaxed bound — same basis, no factorization update.
+	lbq, ubq := s.std.lb[q], s.std.ub[q]
+	if !math.IsInf(lbq, -1) && !math.IsInf(ubq, 1) && ubq-lbq <= thetaR {
+		return -1, ubq - lbq, true
+	}
+	if math.IsInf(thetaR, 1) {
+		return -1, thetaR, false // unbounded ray
+	}
+
+	// Pass 2: largest pivot among rows whose exact ratio fits.
+	leave = -1
+	bestPiv := 0.0
+	for i := 0; i < s.m; i++ {
+		wi := s.w[i] * sigma
+		awi := math.Abs(wi)
+		if awi <= tolP || awi <= bestPiv {
+			continue
+		}
+		bcol := s.basis[i]
+		xb := s.x[bcol]
+		var t float64
+		if wi > 0 {
+			lb := s.lbOf(bcol)
+			if math.IsInf(lb, -1) {
+				continue
+			}
+			t = (xb - lb) / wi
+		} else {
+			ub := s.ubOf(bcol)
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			t = (ub - xb) / (-wi)
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t <= thetaR {
+			bestPiv = awi
+			leave = i
+			tmax = t
+		}
+	}
+	if leave < 0 {
+		// The exact minimum ratio always fits under the relaxed bound, so
+		// this is unreachable barring floating-point corner cases; the
+		// strict test is a safe answer for those.
+		return s.ratioTestBland(q, sigma)
+	}
+	return leave, tmax, false
+}
+
+// ratioTestBland is the strict one-pass test: smallest (tolerance-relaxed)
+// ratio wins, with Bland's smallest-index tie-break under blandMode —
+// the finite-termination anchor the Harris test falls back to.
+func (s *simplex) ratioTestBland(q int, sigma float64) (leave int, tmax float64, flip bool) {
 	tolP := s.opts.TolPivot
 	tolF := s.opts.TolFeas
 	tmax = math.Inf(1)

@@ -223,8 +223,10 @@ func (s *simplex) installBasis(b *Basis) bool {
 	s.w = make([]float64, m)
 	s.rhs = make([]float64, m)
 	if s.opts.Devex {
-		s.devexW = make([]float64, s.ncols)
-		s.resetDevex()
+		// Explicit reset on every install: weights tuned to a previous basis
+		// (an earlier start strategy, or a caller-supplied SetBasis chain)
+		// must not rank pivots for this one.
+		s.initDevex()
 	}
 	if s.backend == Dense {
 		s.bas = newDenseFactor(s)

@@ -67,14 +67,6 @@ type Block struct {
 //     entry, bound, and right-hand side against the current member data.
 //     Model setters no-op on unchanged values, so the delta class the
 //     solver sees — and with it dual-simplex eligibility — stays exact.
-//   - WarmHostile reports whether this round's refresh makes the stale
-//     basis worthless — because a shared input rotates the partition's
-//     coefficients globally (e.g. every equal-share denominator at once),
-//     or because the touched-member count (passed by the engine) says most
-//     of the partition's rows move anyway. The engine then drops the basis
-//     instead of paying a fruitless warm repair, and rebuilds outright when
-//     the layout also changed, since splicing buys nothing. Adapters whose
-//     refreshes are always local return false.
 //   - Extract caches partition p's solution on the adapter side (the engine
 //     never interprets variables). sol is nil when the layout was empty or
 //     all-zero-width — a vacuous sub-problem the engine did not solve.
@@ -84,7 +76,6 @@ type Adapter interface {
 	BuildModel(p int, layout []Block) *lp.Model
 	SpliceBlock(m *lp.Model, p int, b Block, varAt, rowAt int)
 	RefreshModel(m *lp.Model, p int, layout []Block)
-	WarmHostile(p int, ids []int, touched int) bool
 	Extract(p int, layout []Block, sol *lp.Solution, nVars int) error
 	Clear(p int)
 }
@@ -161,12 +152,14 @@ func (e *engine) solveRound() error {
 //
 //   - no model yet, warm starts disabled, or membership churned beyond
 //     recognition (block-key overlap < 0.5): build fresh;
-//   - a warm-hostile refresh combined with a layout change: build fresh
-//     (splicing preserves a basis the refresh is about to invalidate);
-//   - otherwise splice departed blocks out and new blocks in, refresh all
-//     data-dependent values, and drop the basis if the refresh was
-//     warm-hostile. A splice that cannot preserve survivor order or shape
-//     falls back to a fresh build.
+//   - otherwise splice departed blocks out and new blocks in, then refresh
+//     all data-dependent values. A splice that cannot preserve survivor
+//     order or shape falls back to a fresh build.
+//
+// Whether the refreshed coefficients left the stale basis worth warm
+// repairing is no longer the engine's call: lp.Model prices a sample of the
+// incoming coefficients against the previous solve's duals and drops a
+// hostile basis itself, uniformly across adapters.
 func (e *engine) subSolve(p int, ids []int) (subReport, error) {
 	o := e.t.opts.Obs
 	if o == nil {
@@ -199,10 +192,8 @@ func (e *engine) subSolveObs(po *obs.Observer, p int, ids []int) (subReport, err
 		return subReport{buildNs: time.Since(start).Nanoseconds()}, nil
 	}
 	s := e.subs[p]
-	hostile := e.ad.WarmHostile(p, ids, len(e.t.parts[p].touched))
 	switch {
-	case s.model == nil || e.t.opts.NoWarmStart || keyOverlap(s.blocks, want) < 0.5 ||
-		(hostile && !slices.Equal(s.blocks, want)):
+	case s.model == nil || e.t.opts.NoWarmStart || keyOverlap(s.blocks, want) < 0.5:
 		e.rebuildObs(po, s, p, want)
 	case !e.spliceObs(po, s, p, want):
 		e.rebuildObs(po, s, p, want)
@@ -210,9 +201,6 @@ func (e *engine) subSolveObs(po *obs.Observer, p int, ids []int) (subReport, err
 		rsp := po.Span("online.refresh")
 		e.ad.RefreshModel(s.model, p, s.blocks)
 		rsp.End()
-		if hostile {
-			s.model.ForgetBasis()
-		}
 	}
 	warmAttempted := s.model.HasBasis()
 	buildNs := time.Since(start).Nanoseconds()

@@ -47,27 +47,12 @@ type clusterSubResult struct {
 	objective float64
 }
 
-// clusterFP fingerprints the equal-share inputs a partition's fairness rows
-// were last computed against. Under the fairness policies a change in either
-// the total scale or the capacities rotates every member's denominator at
-// once — the warm-hostile refresh the adapters report through WarmHostile.
-type clusterFP struct {
-	totalZ float64
-	cap    []float64
-}
-
-func (fp *clusterFP) stale(members []cluster.Job, sub cluster.Cluster) bool {
-	return totalScale(members) != fp.totalZ || !slices.Equal(fp.cap, sub.NumGPUs)
-}
-
-func (fp *clusterFP) update(members []cluster.Job, sub cluster.Cluster) {
-	fp.totalZ = totalScale(members)
-	fp.cap = append(fp.cap[:0], sub.NumGPUs...)
-}
-
 // clusterState is the domain state shared by the cluster adapters: the
-// resource pool, the live jobs, and the per-partition results and
-// equal-share fingerprints.
+// resource pool, the live jobs, and the per-partition results. (The
+// equal-share fingerprints that used to live here — detecting when a total
+// scale or capacity shift rotated every fairness denominator at once — are
+// gone: lp.Model now prices the refreshed coefficients against its previous
+// duals and drops a hostile basis itself.)
 type clusterState struct {
 	policy  ClusterPolicy
 	c       cluster.Cluster
@@ -75,7 +60,6 @@ type clusterState struct {
 	haveC   bool
 	jobs    map[int]cluster.Job
 	results []*clusterSubResult
-	fps     []clusterFP
 }
 
 func (st *clusterState) member(id int) cluster.Job { return st.jobs[id] }
@@ -102,17 +86,8 @@ func (st *clusterState) soloMembers(layout []Block) []cluster.Job {
 	return members
 }
 
-func (st *clusterState) membersOf(ids []int) []cluster.Job {
-	members := make([]cluster.Job, len(ids))
-	for i, id := range ids {
-		members[i] = st.jobs[id]
-	}
-	return members
-}
-
 func (st *clusterState) clear(p int) {
 	st.results[p] = &clusterSubResult{index: map[int]int{}}
-	st.fps[p] = clusterFP{}
 }
 
 // ClusterEngine incrementally maintains a POP allocation for the GPU
@@ -138,7 +113,6 @@ func NewClusterEngine(c cluster.Cluster, policy ClusterPolicy, opts Options, lpO
 		policy:  policy,
 		jobs:    make(map[int]cluster.Job),
 		results: make([]*clusterSubResult, opts.K),
-		fps:     make([]clusterFP, opts.K),
 	}
 	var ad Adapter
 	if policy == SpaceSharing {
@@ -377,9 +351,7 @@ func (ad *soloAdapter) Layout(p int, ids []int) []Block {
 }
 
 func (ad *soloAdapter) BuildModel(p int, layout []Block) *lp.Model {
-	members := ad.soloMembers(layout)
-	ad.fps[p].update(members, ad.sub)
-	return buildClusterModel(ad.policy, members, ad.sub)
+	return buildClusterModel(ad.policy, ad.soloMembers(layout), ad.sub)
 }
 
 // SpliceBlock inserts a member block (r variables, a time row, and a
@@ -429,16 +401,6 @@ func (ad *soloAdapter) RefreshModel(m *lp.Model, p int, layout []Block) {
 		m.SetCoeffs(2*n+k, idxs, scales)
 		m.SetRHS(2*n+k, ad.sub.NumGPUs[k])
 	}
-	ad.fps[p].update(members, ad.sub)
-}
-
-// WarmHostile: under MaxMinFairness a shift in the equal-share inputs
-// (total scale or capacity) rotates every member's denominator at once; the
-// stale basis carries nothing through that, so it is dropped — and when
-// membership also changed, the engine rebuilds, since splicing buys nothing
-// over the cheaper fresh build.
-func (ad *soloAdapter) WarmHostile(p int, ids []int, touched int) bool {
-	return ad.policy == MaxMinFairness && ad.fps[p].stale(ad.membersOf(ids), ad.sub)
 }
 
 func (ad *soloAdapter) Extract(p int, layout []Block, sol *lp.Solution, nVars int) error {
@@ -469,14 +431,6 @@ func (ad *soloAdapter) Extract(p int, layout []Block, sol *lp.Solution, nVars in
 }
 
 func (ad *soloAdapter) Clear(p int) { ad.clear(p) }
-
-func totalScale(members []cluster.Job) float64 {
-	z := 0.0
-	for _, j := range members {
-		z += j.Scale
-	}
-	return z
-}
 
 // clusterObjCoefs computes a member's objective-row coefficients: its r
 // throughput ratios and the epigraph coefficient. Degenerate jobs (no

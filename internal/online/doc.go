@@ -47,8 +47,7 @@
 //   - BuildModel constructs a fresh model for a layout; SpliceBlock inserts
 //     one block's structure into a live model at engine-computed positions;
 //     RefreshModel rewrites every data-dependent value afterward.
-//   - WarmHostile declares when a refresh makes the stale basis worthless;
-//     Extract caches a partition's solution; Clear empties it.
+//   - Extract caches a partition's solution; Clear empties it.
 //
 // Block-shape rules: a model lays out its blocks contiguously in layout
 // order — block variables first, then shared variables (an epigraph t, a
@@ -65,30 +64,29 @@
 // answered wrong.
 //
 // Per dirty partition the engine then picks a sync path: build fresh (no
-// model yet, warm starts disabled, block-key overlap < 0.5, or a
-// warm-hostile refresh combined with a layout change), or splice departed
-// blocks out / new blocks in — the stored basis spliced in lockstep — and
-// refresh the rest in place. A re-solve therefore pays pivots, not
-// construction: rhs/bound-only deltas (capacity jitter under MinMakespan,
-// lb tolerance shifts, TE demand shifts) ride the dual simplex from the
-// previous basis; coefficient and objective deltas take the primal warm
-// path; the lp solver owns correctness, falling back primal-warm then cold,
-// so warm starts change solve speed, never solve outcomes.
+// model yet, warm starts disabled, or block-key overlap < 0.5), or splice
+// departed blocks out / new blocks in — the stored basis spliced in
+// lockstep — and refresh the rest in place. A re-solve therefore pays
+// pivots, not construction: rhs/bound-only deltas (capacity jitter under
+// MinMakespan, lb tolerance shifts, TE demand shifts) ride the dual simplex
+// from the previous basis; coefficient and objective deltas take the primal
+// warm path; the lp solver owns correctness, falling back primal-warm then
+// cold, so warm starts change solve speed, never solve outcomes.
 //
-// # The warm-hostility hook
+// # Warm-hostile refreshes
 //
-// Some refreshes leave nothing for a warm start to reuse. The adapters
-// declare them through WarmHostile(p, ids, touched): the cluster fairness
-// adapters report equal-share rotations (a total-scale or capacity shift
-// rotates every member's denominator at once), and the pair adapter also
-// reports broad per-member churn — once a quarter of a partition's members
-// move, most slot coefficients rotate with them (touched is the engine's
-// count of members whose data changed this round). On a hostile refresh the
-// engine drops the basis rather than pay a fruitless warm repair, and
-// rebuilds outright when the layout changed too. lb and TE always return
-// false: their deltas stay local. A generalized replacement — a cheap
-// reduced-cost sample against the new coefficients, decided inside lp.Model
-// for every adapter — is the natural next step (see ROADMAP).
+// Some refreshes leave nothing for a warm start to reuse — a total-scale or
+// capacity shift under the fairness policies rotates every member's
+// equal-share denominator at once. Earlier versions made each adapter
+// declare these rounds through a WarmHostile hook backed by hand-tuned
+// fingerprints; that hook is gone. lp.Model detects hostility itself from
+// the actual incoming numbers, uniformly for every adapter, with no domain
+// knowledge to keep in sync: after coefficient edits it drops the stale
+// basis when a quarter or more of the constraint rows were rewritten (broad
+// per-member churn — the pair layout's heavy-jitter rounds), or when a
+// strided sample of nonbasic columns priced against the previous solve's
+// duals shows a majority flipped (a global rotation, like the equal-share
+// denominator shifts above, even when few entries changed).
 //
 // # Adding a fourth adapter
 //

@@ -254,10 +254,10 @@ type subReport struct {
 // configured) and books the results. Engines that enable rebalancing call
 // tracker.rebalance themselves before this, so partition-local state (like
 // lb's placement anchors) can be refreshed between the move and the solve.
-// Adapters own the keep-or-drop decision for each model's stale basis
-// through WarmHostile (e.g. the cluster fairness adapters drop it under
-// equal-share rotations). Clean partitions are skipped entirely — their
-// cached results stand.
+// The keep-or-drop decision for each model's stale basis lives in lp.Model,
+// whose hostile-refresh sampler prices the refreshed coefficients against
+// the previous duals. Clean partitions are skipped entirely — their cached
+// results stand.
 func (t *tracker) solveDirty(solve func(p int, ids []int) (subReport, error)) error {
 	t.stats.Rounds++
 	var dirty []int

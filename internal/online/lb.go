@@ -282,10 +282,6 @@ func (ad *lbAdapter) RefreshModel(m *lp.Model, p int, layout []Block) {
 	}
 }
 
-// WarmHostile: lb refreshes are always local (loads, costs, tolerances), so
-// the stale basis stays worth keeping.
-func (ad *lbAdapter) WarmHostile(p int, ids []int, touched int) bool { return false }
-
 func (ad *lbAdapter) Extract(p int, layout []Block, sol *lp.Solution, nVars int) error {
 	mS := len(ad.groups[p])
 	ids := soloIDs(layout)

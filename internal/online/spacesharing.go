@@ -78,7 +78,6 @@ func (ad *pairAdapter) slotTerms(layout []Block, id int) (vars []int, thr []floa
 func (ad *pairAdapter) BuildModel(p int, layout []Block) *lp.Model {
 	r := ad.sub.NumTypes()
 	members := ad.soloMembers(layout)
-	ad.fps[p].update(members, ad.sub)
 
 	m := lp.NewModel(lp.Maximize)
 	for range layout {
@@ -150,17 +149,6 @@ func (ad *pairAdapter) RefreshModel(m *lp.Model, p int, layout []Block) {
 		m.SetCoeffs(2*n+i, idxs, loads)
 		m.SetRHS(2*n+i, ad.sub.NumGPUs[i])
 	}
-	ad.fps[p].update(members, ad.sub)
-}
-
-// WarmHostile mirrors the max-min fairness rotation — a change in the
-// equal-share inputs rotates every fairness denominator at once — and also
-// declares broad per-member churn hostile: a touched member rewrites the
-// coefficients of every slot it shares, so once a quarter of the members
-// move, most of the pair LP's rows have rotated and the stale basis repair
-// costs more pivots than the fresh phase 1 it would replace.
-func (ad *pairAdapter) WarmHostile(p int, ids []int, touched int) bool {
-	return 4*touched >= len(ids) || ad.fps[p].stale(ad.membersOf(ids), ad.sub)
 }
 
 func (ad *pairAdapter) Extract(p int, layout []Block, sol *lp.Solution, nVars int) error {

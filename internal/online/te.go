@@ -303,10 +303,6 @@ func (ad *teAdapter) RefreshModel(m *lp.Model, p int, layout []Block) {
 	}
 }
 
-// WarmHostile: TE deltas are always commodity-local; the stale basis stays
-// worth keeping.
-func (ad *teAdapter) WarmHostile(p int, ids []int, touched int) bool { return false }
-
 func (ad *teAdapter) Extract(p int, layout []Block, sol *lp.Solution, nVars int) error {
 	res := &teSubResult{
 		flows:     make(map[int]float64, len(layout)),
