@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint fmt-check bench-lp bench-online bench-milp bench ci
+.PHONY: all build test test-short test-race vet lint fmt-check bench-lp bench-online bench-milp bench-price bench ci
 
 all: build
 
@@ -48,6 +48,13 @@ bench-online:
 # lb-shaped instances; the headline is the LP pivot ratio, held at ≥2x).
 bench-milp:
 	$(GO) run ./cmd/milpbench -reps 3 -o BENCH_milp.json
+
+# bench-price regenerates BENCH_price.json, the price-discovery engine's
+# quality-vs-latency trajectory (price vs warm LP POP vs the global solve on
+# cluster and lb online rounds, plus price-only scale rows up to 1M clients
+# and the price-seeded hybrid LP).
+bench-price:
+	$(GO) run ./cmd/pricebench -reps 3 -o BENCH_price.json
 
 # bench runs the paper-evaluation benchmark suite at Small scale.
 bench:

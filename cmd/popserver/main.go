@@ -26,11 +26,13 @@
 //
 // Usage:
 //
-//	popserver [-addr :8080] [-gpus 32,32,32] [-k 8] [-round 2s] [-policy maxmin] [-rebalance]
+//	popserver [-addr :8080] [-gpus 32,32,32] [-k 8] [-round 2s] [-policy maxmin|price] [-rebalance]
 //	          [-log-level info] [-debug-addr :6060]
 //
-// -policy selects maxmin, makespan, or spacesharing (pair slots for
-// single-GPU jobs, solved online from the pair-block layout).
+// -policy selects maxmin, makespan, spacesharing (pair slots for single-GPU
+// jobs, solved online from the pair-block layout), or price — the solver-free
+// price-discovery engine (internal/price): per-round parallel best responses
+// with warm-started prices, no LP.
 //
 // With -round 0 no ticker runs and rounds happen only via POST /v1/tick.
 //
@@ -63,7 +65,7 @@ func main() {
 		gpus      = flag.String("gpus", "32,32,32", "comma-separated GPU counts for K80,P100,V100")
 		k         = flag.Int("k", 8, "number of POP sub-problems")
 		round     = flag.Duration("round", 2*time.Second, "scheduling round length (0 = manual ticks only)")
-		policyFl  = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan | spacesharing")
+		policyFl  = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan | spacesharing | price")
 		parallel  = flag.Bool("parallel", true, "solve dirty sub-problems concurrently")
 		rebalance = flag.Bool("rebalance", false, "move ≤1 job per round toward the least-loaded sub-problem")
 		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
@@ -83,20 +85,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "popserver:", err)
 		os.Exit(2)
 	}
-	var policy online.ClusterPolicy
-	switch strings.ToLower(*policyFl) {
-	case "maxmin", "max-min":
-		policy = online.MaxMinFairness
-	case "makespan", "min-makespan":
-		policy = online.MinMakespan
-	case "spacesharing", "space-sharing":
-		policy = online.SpaceSharing
-	default:
-		fmt.Fprintf(os.Stderr, "popserver: unknown policy %q (want maxmin|makespan|spacesharing)\n", *policyFl)
-		os.Exit(2)
-	}
-
-	srv, err := newServer(c, policy, online.Options{K: *k, Parallel: *parallel, Rebalance: *rebalance}, logger)
+	srv, err := newServer(c, *policyFl, online.Options{K: *k, Parallel: *parallel, Rebalance: *rebalance}, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "popserver:", err)
 		os.Exit(2)
@@ -121,7 +110,7 @@ func main() {
 	defer stop()
 
 	logger.Info("popserver listening",
-		"addr", ln.Addr().String(), "policy", policy.String(), "k", *k,
+		"addr", ln.Addr().String(), "policy", strings.ToLower(*policyFl), "k", *k,
 		"gpu_types", c.TypeNames, "gpus", c.NumGPUs, "round", *round)
 	if err := run(ctx, ln, srv, *round); err != nil {
 		logger.Error("popserver failed", "err", err)

@@ -15,6 +15,7 @@ import (
 	"pop/internal/lp"
 	"pop/internal/obs"
 	"pop/internal/online"
+	"pop/internal/price"
 )
 
 // jobSpec is the wire format of a job submission.
@@ -47,13 +48,24 @@ type snapshot struct {
 	NumJobs     int                 `json:"num_jobs"`
 	Jobs        map[string]jobAlloc `json:"jobs"`
 
-	engStats online.Stats
+	engStats   online.Stats
+	priceStats price.Stats
 }
 
 // mutation is one buffered state change (submit or remove).
 type mutation struct {
 	submit *cluster.Job
 	remove int
+}
+
+// roundEngine is the per-round surface the server drives: both the
+// incremental LP engine (online.ClusterEngine) and the price-discovery
+// engine (price.ClusterEngine) satisfy it.
+type roundEngine interface {
+	Upsert(cluster.Job)
+	Remove(id int) bool
+	Jobs() []cluster.Job
+	Step(active []cluster.Job, c cluster.Cluster) (*cluster.Allocation, error)
 }
 
 // server batches mutations between rounds and re-solves the engine once per
@@ -67,7 +79,12 @@ type server struct {
 	snap    snapshot
 
 	engMu sync.Mutex
-	eng   *online.ClusterEngine
+	eng   roundEngine
+	// exactly one of lpEng/prEng is set (and aliased by eng); engineKind
+	// names the active one for /v1/stats.
+	lpEng      *online.ClusterEngine
+	prEng      *price.ClusterEngine
+	engineKind string
 
 	c       cluster.Cluster
 	started time.Time
@@ -81,7 +98,10 @@ type server struct {
 	round atomic.Int64
 }
 
-func newServer(c cluster.Cluster, policy online.ClusterPolicy, opts online.Options, logger *slog.Logger) (*server, error) {
+// newServer builds the daemon around the engine the policy string selects:
+// "maxmin", "makespan", and "spacesharing" run the incremental LP engine,
+// "price" the solver-free price-discovery engine (max-min objective).
+func newServer(c cluster.Cluster, policy string, opts online.Options, logger *slog.Logger) (*server, error) {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
@@ -91,18 +111,41 @@ func newServer(c cluster.Cluster, policy online.ClusterPolicy, opts online.Optio
 	} else if opts.Obs.Metrics != nil {
 		reg = opts.Obs.Metrics // caller-supplied registry backs /metrics too
 	}
-	eng, err := online.NewClusterEngine(c, policy, opts, lp.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return &server{
-		eng:     eng,
+	s := &server{
 		c:       c,
 		snap:    snapshot{Jobs: map[string]jobAlloc{}},
 		started: time.Now(),
 		reg:     reg,
 		log:     logger,
-	}, nil
+	}
+	switch strings.ToLower(policy) {
+	case "price":
+		eng, err := price.NewClusterEngine(c, price.MaxMinFairness, price.EngineOptions{
+			Solver: price.Options{Parallel: opts.Parallel, Obs: opts.Obs},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.prEng, s.eng, s.engineKind = eng, eng, "price"
+		return s, nil
+	case "maxmin", "max-min", "makespan", "min-makespan", "spacesharing", "space-sharing":
+		var lpPolicy online.ClusterPolicy
+		switch strings.ToLower(policy) {
+		case "maxmin", "max-min":
+			lpPolicy = online.MaxMinFairness
+		case "makespan", "min-makespan":
+			lpPolicy = online.MinMakespan
+		default:
+			lpPolicy = online.SpaceSharing
+		}
+		eng, err := online.NewClusterEngine(c, lpPolicy, opts, lp.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.lpEng, s.eng, s.engineKind = eng, eng, "lp"
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want maxmin|makespan|spacesharing|price)", policy)
 }
 
 func (s *server) handler() http.Handler {
@@ -341,7 +384,12 @@ func (s *server) tick() (snapshot, error) {
 		}
 	}
 	snap.SolveTimeMs = float64(time.Since(start).Microseconds()) / 1000
-	snap.engStats = s.eng.Stats()
+	if s.lpEng != nil {
+		snap.engStats = s.lpEng.Stats()
+	}
+	if s.prEng != nil {
+		snap.priceStats = s.prEng.Stats()
+	}
 
 	s.mu.Lock()
 	s.snap = snap
@@ -400,9 +448,14 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"pending":        len(s.pending),
 		"gpu_types":      s.c.TypeNames,
 		"gpus":           s.c.NumGPUs,
+		"engine_kind":    s.engineKind,
 		// engine marshals through online.Stats' JSON tags, so a field added
 		// there lands here without a matching edit.
 		"engine": st,
+		// price mirrors the price engine's counters through price.Stats' JSON
+		// tags; all-zero under the LP engines, included unconditionally so
+		// clients see a stable schema.
+		"price": s.snap.priceStats,
 		// search mirrors milp.SearchStats from the registry's counters. The
 		// bundled cluster policies are pure LPs, so these stay zero unless a
 		// MILP-backed policy runs with the server's observer; they are

@@ -22,7 +22,7 @@ import (
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(cluster.NewCluster(4, 4, 4), online.MaxMinFairness, online.Options{K: 2}, nil)
+	s, err := newServer(cluster.NewCluster(4, 4, 4), "maxmin", online.Options{K: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,9 +137,9 @@ func TestServerBatchingSkipsCleanSubProblems(t *testing.T) {
 		do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: id, Throughput: []float64{1, 1, 1}}, http.StatusAccepted)
 	}
 	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
-	before := s.eng.Stats().SubSolves
+	before := s.lpEng.Stats().SubSolves
 	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
-	if after := s.eng.Stats().SubSolves; after != before {
+	if after := s.lpEng.Stats().SubSolves; after != before {
 		t.Fatalf("idle tick re-solved %d sub-problems", after-before)
 	}
 }
@@ -177,7 +177,7 @@ func TestServerSetCluster(t *testing.T) {
 	}
 	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
 	big := cluster.NewCluster(8, 8, 8)
-	if got := s.eng.Cluster().NumGPUs[0]; got != 8 {
+	if got := s.lpEng.Cluster().NumGPUs[0]; got != 8 {
 		t.Fatalf("engine cluster not updated: %g GPUs of type 0, want 8", got)
 	}
 	// The capacity change dirties both sub-problems.
@@ -194,7 +194,7 @@ func TestServerSetCluster(t *testing.T) {
 	do(t, "PUT", ts.URL+"/v1/cluster", clusterSpec{GPUs: []float64{8, 8}}, http.StatusBadRequest)
 	do(t, "PUT", ts.URL+"/v1/cluster", clusterSpec{GPUs: []float64{8, -1, 8}}, http.StatusBadRequest)
 	do(t, "PUT", ts.URL+"/v1/cluster", "not a cluster", http.StatusBadRequest)
-	if got := s.eng.Cluster().NumGPUs[0]; got != 8 {
+	if got := s.lpEng.Cluster().NumGPUs[0]; got != 8 {
 		t.Fatalf("rejected PUT changed the cluster: %g GPUs of type 0", got)
 	}
 }
@@ -235,7 +235,7 @@ func engineStat(t *testing.T, ts *httptest.Server, key string) float64 {
 // jobs are allocated through shared slots, so the snapshot reports effective
 // throughputs without solo X rows.
 func TestServerSpaceSharingPolicy(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(3, 3, 3), online.SpaceSharing, online.Options{K: 2}, nil)
+	s, err := newServer(cluster.NewCluster(3, 3, 3), "spacesharing", online.Options{K: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,6 +259,71 @@ func TestServerSpaceSharingPolicy(t *testing.T) {
 		if _, has := ja["x"]; has {
 			t.Fatalf("job %s snapshot carries solo X rows under space sharing", id)
 		}
+	}
+}
+
+// TestServerPricePolicy runs rounds under -policy price: allocations come
+// from the solver-free price-discovery engine, and /v1/stats reports the
+// engine kind plus the price-engine counters (iterations, clearing residual,
+// warm-price rounds).
+func TestServerPricePolicy(t *testing.T) {
+	s, err := newServer(cluster.NewCluster(4, 4, 4), "price", online.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	for id := 0; id < 12; id++ {
+		do(t, "POST", ts.URL+"/v1/jobs",
+			jobSpec{ID: id, Throughput: []float64{1, 2, 3.5 + float64(id)*0.1}}, http.StatusAccepted)
+	}
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+	// Low-churn second round: the engine carries the prices forward.
+	do(t, "DELETE", ts.URL+"/v1/jobs/3", nil, http.StatusAccepted)
+	do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: 99, Throughput: []float64{2, 2, 2}}, http.StatusAccepted)
+	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
+
+	snap := do(t, "GET", ts.URL+"/v1/allocation", nil, http.StatusOK)
+	served, _ := snap["jobs"].(map[string]any)
+	if len(served) != 12 {
+		t.Fatalf("snapshot has %d jobs, want 12", len(served))
+	}
+	for id, v := range served {
+		ja := v.(map[string]any)
+		if thr := ja["effective_throughput"].(float64); thr <= 0 {
+			t.Fatalf("job %s starved under the price engine: %g", id, thr)
+		}
+	}
+
+	stats := do(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK)
+	if kind := stats["engine_kind"].(string); kind != "price" {
+		t.Fatalf("engine_kind = %q, want price", kind)
+	}
+	pr := stats["price"].(map[string]any)
+	if got := pr["rounds"].(float64); got != 2 {
+		t.Fatalf("price rounds %g, want 2", got)
+	}
+	if got := pr["iterations"].(float64); got <= 0 {
+		t.Fatalf("price iterations %g, want > 0", got)
+	}
+	if got := pr["warm_price_rounds"].(float64); got != 1 {
+		t.Fatalf("warm price rounds %g, want 1 (second round rides carried prices)", got)
+	}
+	if _, has := pr["last_residual"]; !has {
+		t.Fatal("price stats missing last_residual")
+	}
+
+	// An LP-engine server reports its kind and an all-zero price block —
+	// the schema is stable across engines.
+	lpStats := func() map[string]any {
+		_, lts := newTestServer(t)
+		return do(t, "GET", lts.URL+"/v1/stats", nil, http.StatusOK)
+	}()
+	if kind := lpStats["engine_kind"].(string); kind != "lp" {
+		t.Fatalf("LP server engine_kind = %q, want lp", kind)
+	}
+	if pr := lpStats["price"].(map[string]any); pr["rounds"].(float64) != 0 {
+		t.Fatalf("LP server price block should be zero: %v", pr)
 	}
 }
 
@@ -496,7 +561,7 @@ func TestServerConcurrentLoad(t *testing.T) {
 // SIGINT/SIGTERM would) and require run to drain the in-flight round and
 // return cleanly, leaving the engine in a consistent post-round state.
 func TestServerGracefulShutdown(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(4, 4, 4), online.MaxMinFairness, online.Options{K: 2}, nil)
+	s, err := newServer(cluster.NewCluster(4, 4, 4), "maxmin", online.Options{K: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -559,7 +624,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 // TestServerShutdownWithoutTicker: run with round=0 (manual ticks only)
 // must also exit cleanly on cancellation.
 func TestServerShutdownWithoutTicker(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(2, 2, 2), online.MinMakespan, online.Options{K: 1}, nil)
+	s, err := newServer(cluster.NewCluster(2, 2, 2), "makespan", online.Options{K: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,183 @@
+package price
+
+import (
+	"math"
+	"testing"
+
+	"pop/internal/cluster"
+	"pop/internal/lb"
+)
+
+// stepRounds plays a low-churn round sequence against an engine: each round
+// replaces a couple of jobs and jitters one weight, the membership churn
+// staying well under ColdChurnFrac.
+func stepRounds(t *testing.T, e *ClusterEngine, c cluster.Cluster, rounds int) []float64 {
+	t.Helper()
+	jobs := cluster.GenerateJobs(160, 21, 0.3)
+	nextID := 10_000
+	objs := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		if r > 0 {
+			// Two departures, two arrivals, one in-place update.
+			fresh := cluster.GenerateJobs(2, int64(100+r), 0.3)
+			for i := range fresh {
+				fresh[i].ID = nextID
+				nextID++
+			}
+			jobs = append(jobs[2:], fresh...)
+			jobs[0].Weight *= 1.1
+		}
+		a, err := e.Step(jobs, c)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if err := cluster.VerifyFeasible(jobs, c, a, 1e-6); err != nil {
+			t.Fatalf("round %d: infeasible: %v", r, err)
+		}
+		objs = append(objs, e.Objective())
+	}
+	return objs
+}
+
+func TestClusterEngineWarmVsCold(t *testing.T) {
+	c := cluster.NewCluster(32, 32, 32)
+	warmEng, err := NewClusterEngine(c, MaxMinFairness, EngineOptions{Solver: Options{Seed: 21, Parallel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldEng, err := NewClusterEngine(c, MaxMinFairness, EngineOptions{Solver: Options{Seed: 21, Parallel: true}, NoWarmPrice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 6
+	warmObjs := stepRounds(t, warmEng, c, rounds)
+	coldObjs := stepRounds(t, coldEng, c, rounds)
+
+	ws, cs := warmEng.Stats(), coldEng.Stats()
+	t.Logf("warm engine: %+v", ws)
+	t.Logf("cold engine: %+v", cs)
+	if ws.WarmPriceRounds != rounds-1 || ws.ColdPriceRounds != 1 {
+		t.Errorf("warm engine rounds: got warm=%d cold=%d, want %d/1", ws.WarmPriceRounds, ws.ColdPriceRounds, rounds-1)
+	}
+	if cs.WarmPriceRounds != 0 || cs.ColdPriceRounds != rounds {
+		t.Errorf("cold engine rounds: got warm=%d cold=%d, want 0/%d", cs.WarmPriceRounds, cs.ColdPriceRounds, rounds)
+	}
+	// Warm and cold solve the same market to the same tolerance: the policy
+	// objectives must agree within a small band even though the iteration
+	// paths differ.
+	for r := range warmObjs {
+		if diff := math.Abs(warmObjs[r]-coldObjs[r]) / math.Max(coldObjs[r], 1e-9); diff > 0.05 {
+			t.Errorf("round %d: warm objective %.4f vs cold %.4f diverge %.1f%%",
+				r, warmObjs[r], coldObjs[r], 100*diff)
+		}
+	}
+	// And warm rounds must be cheaper: total iterations strictly below the
+	// all-cold engine's.
+	if ws.Iterations*2 >= cs.Iterations {
+		t.Errorf("warm engine spent %d iterations, cold %d: want at least a 2x cut", ws.Iterations, cs.Iterations)
+	}
+}
+
+func TestClusterEngineChurnFallback(t *testing.T) {
+	c := cluster.NewCluster(16, 16, 16)
+	e, err := NewClusterEngine(c, MaxMinFairness, EngineOptions{Solver: Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := cluster.GenerateJobs(80, 3, 0.3)
+	if _, err := e.Step(jobs, c); err != nil {
+		t.Fatal(err)
+	}
+	// Replace half the jobs: membership churn 50% ≥ the default 25% drops
+	// the carried prices.
+	fresh := cluster.GenerateJobs(40, 999, 0.3)
+	for i := range fresh {
+		fresh[i].ID = 20_000 + i
+	}
+	if _, err := e.Step(append(jobs[40:], fresh...), c); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ColdPriceRounds != 2 || st.WarmPriceRounds != 0 {
+		t.Errorf("heavy churn should solve cold: %+v", st)
+	}
+
+	// A third, low-churn round goes warm again.
+	if _, err := e.Step(append(jobs[40:], fresh...), c); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.WarmPriceRounds != 1 {
+		t.Errorf("low-churn round should solve warm: %+v", st)
+	}
+}
+
+func TestClusterEngineCapacityRescale(t *testing.T) {
+	c := cluster.NewCluster(16, 16, 16)
+	e, err := NewClusterEngine(c, MaxMinFairness, EngineOptions{Solver: Options{Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := cluster.GenerateJobs(60, 9, 0.3)
+	if _, err := e.Step(jobs, c); err != nil {
+		t.Fatal(err)
+	}
+	p := append([]float64(nil), e.price...)
+	// Halving every capacity doubles the carried prices and stays warm.
+	c2 := cluster.NewCluster(8, 8, 8)
+	if _, err := e.Step(jobs, c2); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.WarmPriceRounds != 1 {
+		t.Errorf("capacity change should rescale prices, not drop them: %+v", st)
+	}
+	_ = p
+	// MarkAllDirty forces the next round cold.
+	e.MarkAllDirty()
+	if _, err := e.Step(jobs, c2); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.ColdPriceRounds != 2 {
+		t.Errorf("MarkAllDirty should force a cold round: %+v", st)
+	}
+}
+
+func TestClusterEnginePropFair(t *testing.T) {
+	c := cluster.NewCluster(16, 16, 16)
+	e, err := NewClusterEngine(c, ProportionalFairness, EngineOptions{Solver: Options{Seed: 13, Parallel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepRounds(t, e, c, 3)
+	if st := e.Stats(); st.Rounds != 3 || st.WarmPriceRounds != 2 {
+		t.Errorf("propfair engine rounds: %+v", st)
+	}
+	if _, err := NewClusterEngine(c, ClusterPolicy(99), EngineOptions{}); err == nil {
+		t.Error("unknown policy should be rejected")
+	}
+}
+
+func TestLBEngineRounds(t *testing.T) {
+	inst := lb.NewInstance(300, 12, 0.05, 17)
+	e, err := NewLBEngine(EngineOptions{Solver: Options{Seed: 17, Parallel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lb.RunRounds(inst, 6, 17, e.Solver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	t.Logf("lb rounds: avgDev=%.4f avgMoved=%.1f stats=%+v", res.AvgDeviation, res.AvgMovedBytes, st)
+	if st.Rounds != 6 || st.ColdPriceRounds != 1 || st.WarmPriceRounds != 5 {
+		t.Errorf("lb engine should go warm after the first round: %+v", st)
+	}
+	if res.AvgDeviation > inst.TolFrac+0.02 {
+		t.Errorf("average deviation %.4f well outside tolerance %.4f", res.AvgDeviation, inst.TolFrac)
+	}
+	// Load jitter lands as updates, not churn: ShiftLoads touches loads on
+	// surviving shards only.
+	if st.Arrivals != 300 || st.Departures != 0 {
+		t.Errorf("unexpected membership churn: %+v", st)
+	}
+}

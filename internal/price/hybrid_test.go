@@ -1,0 +1,54 @@
+package price
+
+import (
+	"testing"
+
+	"pop/internal/cluster"
+	"pop/internal/lp"
+)
+
+func TestHybridMatchesPlainLP(t *testing.T) {
+	for _, n := range []int{30, 90} {
+		for seed := int64(1); seed <= 3; seed++ {
+			jobs := cluster.GenerateJobs(n, seed, 0.3)
+			c := cluster.NewCluster(float64(n)/5, float64(n)/5, float64(n)/5)
+
+			plain, err := cluster.MaxMinFairness(jobs, c, lp.Options{})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: plain LP: %v", n, seed, err)
+			}
+			hyb, psol, err := HybridMaxMin(jobs, c, Options{Seed: seed}, lp.Options{})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: hybrid: %v", n, seed, err)
+			}
+			if psol == nil || psol.Iterations == 0 {
+				t.Fatalf("n=%d seed=%d: hybrid skipped the price phase", n, seed)
+			}
+			if err := cluster.VerifyFeasible(jobs, c, hyb, 1e-6); err != nil {
+				t.Fatalf("n=%d seed=%d: hybrid infeasible: %v", n, seed, err)
+			}
+			pObj := MaxMinObjective(jobs, c, plain)
+			hObj := MaxMinObjective(jobs, c, hyb)
+			// The crossover basis is a hint: the LP optimum must be identical
+			// to a cold solve up to solver tolerance.
+			if diff := pObj - hObj; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("n=%d seed=%d: hybrid objective %.9f != plain %.9f",
+					n, seed, hObj, pObj)
+			}
+		}
+	}
+}
+
+func TestHybridEmptyJobs(t *testing.T) {
+	c := cluster.NewCluster(4, 4, 4)
+	a, sol, err := HybridMaxMin(nil, c, Options{}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol != nil {
+		t.Error("empty hybrid should skip the price phase")
+	}
+	if a == nil {
+		t.Error("empty hybrid should still return an allocation")
+	}
+}

@@ -1,0 +1,278 @@
+package price
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pop/internal/lb"
+)
+
+// moveCostWeight converts a shard's per-load-unit movement cost (Mem/Load)
+// into price units in the lb best response: a shard leaves its current
+// server only when the price gap exceeds moveCostWeight·Mem/Load, so
+// cheap-to-move, high-load shards migrate first — the same trade the §4.3
+// objective makes.
+const moveCostWeight = 1.0
+
+// snapFrac drops serving fractions below this share of a shard's load
+// during extraction; maxPlacements caps the servers a shard may be spread
+// over. Both keep the placement count (and with it movements and memory
+// footprint) near the integral solutions the MILP produces.
+const (
+	snapFrac      = 0.05
+	maxPlacements = 4
+)
+
+// lbDomain prices the servers: each server is a resource with capacity L
+// (the average load), and a shard's best response puts its whole load on
+// the cheapest server after adding the amortized movement cost of any
+// server it is not already placed on. Iteration averaging then yields
+// fractional serving splits across the servers a shard visited.
+type lbDomain struct {
+	shards []lb.Shard
+	placed [][]bool
+	m      int
+	avg    float64
+	total  float64
+}
+
+func newLBDomain(inst *lb.Instance) *lbDomain {
+	d := &lbDomain{
+		shards: inst.Shards,
+		placed: inst.Placement,
+		m:      len(inst.Servers),
+	}
+	for _, s := range inst.Shards {
+		d.total += s.Load
+	}
+	d.avg = d.total / float64(d.m)
+	return d
+}
+
+func (d *lbDomain) Dims() (int, int) { return len(d.shards), d.m }
+func (d *lbDomain) Capacity(out []float64) {
+	for j := range out {
+		out[j] = d.avg
+	}
+}
+func (d *lbDomain) DemandHint() float64 { return d.total }
+
+func (d *lbDomain) BestResponse(i int, price []float64, out []float64) {
+	s := d.shards[i]
+	load := math.Max(s.Load, capFloor)
+	movePenalty := moveCostWeight * s.Mem / load
+	best, bestCost := 0, math.Inf(1)
+	for j := 0; j < d.m; j++ {
+		cost := price[j]
+		if !d.placed[i][j] {
+			cost += movePenalty
+		}
+		if cost < bestCost {
+			best, bestCost = j, cost
+		}
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	out[best] = s.Load
+}
+
+// SolveLB approximates the relaxed §4.3 shard balancer by price discovery:
+// converged prices spread each shard across the servers it favored, and a
+// deterministic repair pass walks the residual band violations home. The
+// result is a heuristic (Optimal stays false); MovedBytes and MaxDeviation
+// report its true quality, gaps included.
+func SolveLB(inst *lb.Instance, opts Options) (*lb.Assignment, *Solution, error) {
+	n, m := len(inst.Shards), len(inst.Servers)
+	if n == 0 || m == 0 {
+		return nil, nil, fmt.Errorf("price: empty instance")
+	}
+	if opts.MaxIters == 0 {
+		// The shard market is integral — whole shards switch servers — so the
+		// averaged residual plateaus early and the band repair does the final
+		// leveling; a long price walk buys no quality, only latency.
+		opts.MaxIters = 200
+	}
+	sol, err := Solve(newLBDomain(inst), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lbAssignment(inst, sol), sol, nil
+}
+
+func lbAssignment(inst *lb.Instance, sol *Solution) *lb.Assignment {
+	n, m := len(inst.Shards), len(inst.Servers)
+	L := inst.AvgLoad()
+	eps := inst.TolFrac * L
+
+	out := &lb.Assignment{
+		Frac:   make([][]float64, n),
+		Placed: make([][]bool, n),
+	}
+	// Serving fractions from the averaged demands, snapped and capped so a
+	// shard lands on a few servers, then renormalized to full coverage.
+	for i, s := range inst.Shards {
+		frac := make([]float64, m)
+		out.Frac[i] = frac
+		out.Placed[i] = make([]bool, m)
+		dem := sol.ClientDemand(i)
+		if s.Load <= 0 {
+			// A zero-load shard serves from its current home: no movement.
+			frac[homeServer(inst, i)] = 1
+			continue
+		}
+		type share struct {
+			j int
+			f float64
+		}
+		shares := make([]share, 0, maxPlacements)
+		for j := 0; j < m; j++ {
+			if f := dem[j] / s.Load; f >= snapFrac {
+				shares = append(shares, share{j, f})
+			}
+		}
+		if len(shares) == 0 {
+			best, bestF := homeServer(inst, i), 0.0
+			for j := 0; j < m; j++ {
+				if f := dem[j] / s.Load; f > bestF {
+					best, bestF = j, f
+				}
+			}
+			shares = append(shares, share{best, 1})
+		}
+		sort.Slice(shares, func(a, b int) bool {
+			if shares[a].f != shares[b].f {
+				return shares[a].f > shares[b].f
+			}
+			return shares[a].j < shares[b].j
+		})
+		if len(shares) > maxPlacements {
+			shares = shares[:maxPlacements]
+		}
+		total := 0.0
+		for _, sh := range shares {
+			total += sh.f
+		}
+		for _, sh := range shares {
+			frac[sh.j] = sh.f / total
+		}
+	}
+
+	repairBand(inst, out.Frac, L, eps)
+
+	for i := range out.Frac {
+		for j, f := range out.Frac[i] {
+			out.Placed[i][j] = f > 1e-9
+		}
+	}
+	finalize(inst, out, L)
+	return out
+}
+
+func homeServer(inst *lb.Instance, i int) int {
+	for j, p := range inst.Placement[i] {
+		if p {
+			return j
+		}
+	}
+	return 0
+}
+
+// repairBand deterministically walks server loads into [L-eps, L+eps]:
+// while the extremes violate the band, shift load from the most- to the
+// least-loaded server, preferring shards already materialized on the target
+// (no new movement) and breaking ties toward the smallest memory footprint;
+// a new placement must fit the target's memory capacity. Like the greedy
+// baseline, it gives up when no admissible move remains — MaxDeviation then
+// reports the residual violation.
+func repairBand(inst *lb.Instance, frac [][]float64, L, eps float64) {
+	n, m := len(inst.Shards), len(inst.Servers)
+	load := make([]float64, m)
+	mem := make([]float64, m)
+	for i, s := range inst.Shards {
+		for j, f := range frac[i] {
+			if f > 1e-9 {
+				load[j] += f * s.Load
+				mem[j] += s.Mem
+			}
+		}
+	}
+	for iter := 0; iter < 8*n; iter++ {
+		hi, lo := 0, 0
+		for j := 1; j < m; j++ {
+			if load[j] > load[hi] {
+				hi = j
+			}
+			if load[j] < load[lo] {
+				lo = j
+			}
+		}
+		if load[hi] <= L+eps && load[lo] >= L-eps {
+			break
+		}
+		// Shift up to the leveling amount from hi to lo.
+		want := math.Min(load[hi]-L, L-load[lo])
+		if want <= 0 {
+			want = math.Max(load[hi]-(L+eps), (L-eps)-load[lo])
+		}
+		best, bestCost := -1, math.Inf(1)
+		for i, s := range inst.Shards {
+			if frac[i][hi] <= 1e-9 || s.Load <= 0 {
+				continue
+			}
+			cost := 0.0
+			if frac[i][lo] <= 1e-9 && !inst.Placement[i][lo] {
+				if mem[lo]+s.Mem > inst.Servers[lo].MemCap {
+					continue // new placement would not fit
+				}
+				cost = s.Mem
+			}
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		if best < 0 {
+			break // no admissible move: report the violation honestly
+		}
+		s := inst.Shards[best]
+		delta := math.Min(want, frac[best][hi]*s.Load)
+		if delta <= 0 {
+			break
+		}
+		if frac[best][lo] <= 1e-9 {
+			mem[lo] += s.Mem
+		}
+		frac[best][hi] -= delta / s.Load
+		frac[best][lo] += delta / s.Load
+		if frac[best][hi] <= 1e-9 {
+			frac[best][hi] = 0
+			mem[hi] -= s.Mem
+		}
+		load[hi] -= delta
+		load[lo] += delta
+	}
+}
+
+// finalize computes Movements, MovedBytes, and MaxDeviation (the
+// package-external equivalent of lb's own assignment finalizer).
+func finalize(inst *lb.Instance, a *lb.Assignment, L float64) {
+	n, m := len(inst.Shards), len(inst.Servers)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if a.Placed[i][j] && !inst.Placement[i][j] {
+				a.Movements++
+				a.MovedBytes += inst.Shards[i].Mem
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		load := 0.0
+		for i := 0; i < n; i++ {
+			load += a.Frac[i][j] * inst.Shards[i].Load
+		}
+		if dev := math.Abs(load-L) / L; dev > a.MaxDeviation {
+			a.MaxDeviation = dev
+		}
+	}
+}
