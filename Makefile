@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint fmt-check bench-lp bench-online bench-milp bench-price bench ci
+.PHONY: all build test test-short test-race vet lint fmt-check bench-lp bench-online bench-milp bench-price bench-serve bench ci
 
 all: build
 
@@ -55,6 +55,12 @@ bench-milp:
 # and the price-seeded hybrid LP).
 bench-price:
 	$(GO) run ./cmd/pricebench -reps 3 -o BENCH_price.json
+
+# bench-serve regenerates BENCH_serve.json, the sharded serving trajectory:
+# coordinator scatter/gather rounds over real shard-worker subprocesses at
+# shard counts 1/2/4, 1M simulated clients under steady churn.
+bench-serve:
+	$(GO) run ./cmd/servebench -big -o BENCH_serve.json
 
 # bench runs the paper-evaluation benchmark suite at Small scale.
 bench:

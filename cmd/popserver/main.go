@@ -7,7 +7,7 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs            submit or update a job (batched until the next round)
+//	POST   /v1/jobs            submit or update a job, or a JSON array of jobs (batched until the next round)
 //	DELETE /v1/jobs/{id}       remove a job (batched)
 //	PUT    /v1/cluster         install new per-type GPU capacities (next round)
 //	POST   /v1/tick            force a scheduling round now
@@ -16,17 +16,36 @@
 //	GET    /v1/stats           engine and server counters
 //	GET    /healthz            liveness
 //
+// Deployment shapes. By default the daemon runs one in-process engine.
+// With -workers it becomes a shard coordinator instead: clients are
+// consistent-hashed onto shard-worker processes (started with the `worker`
+// subcommand), each round is a deadline-bounded scatter/gather across them,
+// and a worker that misses the deadline has its clients served last round's
+// allocation, flagged "stale" in /v1/allocation. Crashed workers are
+// rebuilt from the coordinator's client registry. See internal/shard.
+//
+//	popserver worker -shard-addr :9001 [-policy ... -k ... -auth-token ... -state-file ...]
+//	popserver -workers http://host:9001,http://host:9002 [-shard-deadline 10s] [-auth-token ...]
+//
+// Hardening: -auth-token requires a shared bearer token on every mutating
+// endpoint (and stamps coordinator→worker calls); -quota caps per-tenant
+// (X-Pop-Tenant header) submissions per round, answering 429 beyond it;
+// -state-file persists the engine's warm state (partitions, simplex bases,
+// prices) across restarts, in both single-process and worker modes.
+//
 // Observability: GET /metrics serves the server's counters, gauges, and
 // latency histograms (round latency, warm/cold sub-solve counters, LP pivot
-// totals, per-endpoint request latency) in Prometheus text format. An
-// opt-in -debug-addr starts a second listener exposing net/http/pprof under
-// /debug/pprof/ plus the same /metrics. Logging is structured (log/slog,
-// text to stderr); -log-level picks debug|info|warn|error, with per-request
-// lines at debug and per-round lines at info.
+// totals, shard straggler/rebuild counters, per-endpoint request latency)
+// in Prometheus text format. An opt-in -debug-addr starts a second listener
+// exposing net/http/pprof under /debug/pprof/ plus the same /metrics.
+// Logging is structured (log/slog, text to stderr); -log-level picks
+// debug|info|warn|error, with per-request lines at debug and per-round
+// lines at info.
 //
 // Usage:
 //
 //	popserver [-addr :8080] [-gpus 32,32,32] [-k 8] [-round 2s] [-policy maxmin|price] [-rebalance]
+//	          [-workers url,url] [-shard-deadline 10s] [-auth-token t] [-quota n] [-state-file f]
 //	          [-log-level info] [-debug-addr :6060]
 //
 // -policy selects maxmin, makespan, spacesharing (pair slots for single-GPU
@@ -37,7 +56,7 @@
 // With -round 0 no ticker runs and rounds happen only via POST /v1/tick.
 //
 // On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
-// handlers and the round in progress, and exits cleanly.
+// handlers and the round in progress, saves -state-file, and exits cleanly.
 package main
 
 import (
@@ -56,10 +75,19 @@ import (
 	"time"
 
 	"pop/internal/cluster"
+	"pop/internal/obs"
 	"pop/internal/online"
+	"pop/internal/shard"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		if err := workerMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "popserver worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		gpus      = flag.String("gpus", "32,32,32", "comma-separated GPU counts for K80,P100,V100")
@@ -68,24 +96,43 @@ func main() {
 		policyFl  = flag.String("policy", "maxmin", "scheduling policy: maxmin | makespan | spacesharing | price")
 		parallel  = flag.Bool("parallel", true, "solve dirty sub-problems concurrently")
 		rebalance = flag.Bool("rebalance", false, "move ≤1 job per round toward the least-loaded sub-problem")
+		workers   = flag.String("workers", "", "comma-separated shard-worker base URLs (coordinator mode)")
+		deadline  = flag.Duration("shard-deadline", 10*time.Second, "per-round scatter/gather deadline (coordinator mode)")
+		authTok   = flag.String("auth-token", "", "bearer token required on mutating endpoints and used for worker calls")
+		quota     = flag.Int("quota", 0, "max job submissions per tenant per round (0 = unlimited)")
+		stateFile = flag.String("state-file", "", "persist engine warm state here across restarts (single-process mode)")
 		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		debugAddr = flag.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics")
 	)
 	flag.Parse()
 
-	var level slog.Level
-	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
-		fmt.Fprintf(os.Stderr, "popserver: bad -log-level %q (want debug|info|warn|error)\n", *logLevel)
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "popserver:", err)
 		os.Exit(2)
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	c, err := parseCluster(*gpus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "popserver:", err)
 		os.Exit(2)
 	}
-	srv, err := newServer(c, *policyFl, online.Options{K: *k, Parallel: *parallel, Rebalance: *rebalance}, logger)
+	cfg := serverConfig{
+		policy:    *policyFl,
+		opts:      online.Options{K: *k, Parallel: *parallel, Rebalance: *rebalance},
+		deadline:  *deadline,
+		authToken: shard.Token(*authTok),
+		quota:     *quota,
+		stateFile: *stateFile,
+	}
+	if *workers != "" {
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.workers = append(cfg.workers, strings.TrimSuffix(u, "/"))
+			}
+		}
+	}
+	srv, err := newServer(c, cfg, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "popserver:", err)
 		os.Exit(2)
@@ -111,12 +158,97 @@ func main() {
 
 	logger.Info("popserver listening",
 		"addr", ln.Addr().String(), "policy", strings.ToLower(*policyFl), "k", *k,
+		"mode", srv.engineKind, "workers", len(cfg.workers),
 		"gpu_types", c.TypeNames, "gpus", c.NumGPUs, "round", *round)
 	if err := run(ctx, ln, srv, *round); err != nil {
 		logger.Error("popserver failed", "err", err)
 		os.Exit(1)
 	}
+	if err := srv.saveState(); err != nil {
+		logger.Warn("final state save failed", "err", err)
+	}
 	logger.Info("drained and stopped")
+}
+
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// workerMain runs the shard-worker subcommand: one policy engine owned by
+// this process, serving the coordinator protocol (internal/shard) until
+// SIGINT/SIGTERM, with its warm state checkpointed to -state-file.
+func workerMain(args []string) error {
+	fs := flag.NewFlagSet("popserver worker", flag.ExitOnError)
+	var (
+		addr      = fs.String("shard-addr", ":9001", "listen address for the coordinator protocol")
+		gpus      = fs.String("gpus", "32,32,32", "initial GPU counts (each round carries its own capacities)")
+		k         = fs.Int("k", 1, "POP sub-problems inside this worker's engine")
+		policyFl  = fs.String("policy", "maxmin", "scheduling policy: maxmin | makespan | spacesharing | price")
+		parallel  = fs.Bool("parallel", true, "solve dirty sub-problems concurrently")
+		rebalance = fs.Bool("rebalance", false, "enable the engine's drift-bounded rebalancer")
+		authTok   = fs.String("auth-token", "", "bearer token required on round and sync requests")
+		stateFile = fs.String("state-file", "", "persist engine warm state here across restarts")
+		logLevel  = fs.String("log-level", "info", "log level: debug | info | warn | error")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	c, err := parseCluster(*gpus)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	o := &obs.Observer{Metrics: reg}
+	b, err := shard.NewEngine(c, shard.EngineConfig{
+		Policy: *policyFl, K: *k, Parallel: *parallel, Rebalance: *rebalance, Obs: o,
+	})
+	if err != nil {
+		return err
+	}
+	w := shard.NewWorker(b, shard.WorkerOptions{
+		Token:     shard.Token(*authTok),
+		StateFile: *stateFile,
+		Obs:       o,
+		Log:       logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	logger.Info("shard worker listening",
+		"addr", ln.Addr().String(), "policy", strings.ToLower(*policyFl), "k", *k,
+		"kind", b.Kind, "round", w.LastRound())
+
+	hs := &http.Server{Handler: w.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = hs.Shutdown(shutdownCtx)
+	if saveErr := w.SaveState(); saveErr != nil {
+		logger.Warn("final state save failed", "err", saveErr)
+	}
+	if serr := <-serveErr; serr != nil && serr != http.ErrServerClosed {
+		return serr
+	}
+	logger.Info("worker drained and stopped")
+	return err
 }
 
 // debugHandler is the opt-in -debug-addr surface: the pprof index and

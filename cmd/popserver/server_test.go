@@ -22,7 +22,7 @@ import (
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(cluster.NewCluster(4, 4, 4), "maxmin", online.Options{K: 2}, nil)
+	s, err := newServer(cluster.NewCluster(4, 4, 4), serverConfig{policy: "maxmin", opts: online.Options{K: 2}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,9 +137,9 @@ func TestServerBatchingSkipsCleanSubProblems(t *testing.T) {
 		do(t, "POST", ts.URL+"/v1/jobs", jobSpec{ID: id, Throughput: []float64{1, 1, 1}}, http.StatusAccepted)
 	}
 	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
-	before := s.lpEng.Stats().SubSolves
+	before := s.bundle.Stats().(online.Stats).SubSolves
 	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
-	if after := s.lpEng.Stats().SubSolves; after != before {
+	if after := s.bundle.Stats().(online.Stats).SubSolves; after != before {
 		t.Fatalf("idle tick re-solved %d sub-problems", after-before)
 	}
 }
@@ -177,7 +177,7 @@ func TestServerSetCluster(t *testing.T) {
 	}
 	do(t, "POST", ts.URL+"/v1/tick", nil, http.StatusOK)
 	big := cluster.NewCluster(8, 8, 8)
-	if got := s.lpEng.Cluster().NumGPUs[0]; got != 8 {
+	if got := s.bundle.Engine.(*online.ClusterEngine).Cluster().NumGPUs[0]; got != 8 {
 		t.Fatalf("engine cluster not updated: %g GPUs of type 0, want 8", got)
 	}
 	// The capacity change dirties both sub-problems.
@@ -194,7 +194,7 @@ func TestServerSetCluster(t *testing.T) {
 	do(t, "PUT", ts.URL+"/v1/cluster", clusterSpec{GPUs: []float64{8, 8}}, http.StatusBadRequest)
 	do(t, "PUT", ts.URL+"/v1/cluster", clusterSpec{GPUs: []float64{8, -1, 8}}, http.StatusBadRequest)
 	do(t, "PUT", ts.URL+"/v1/cluster", "not a cluster", http.StatusBadRequest)
-	if got := s.lpEng.Cluster().NumGPUs[0]; got != 8 {
+	if got := s.bundle.Engine.(*online.ClusterEngine).Cluster().NumGPUs[0]; got != 8 {
 		t.Fatalf("rejected PUT changed the cluster: %g GPUs of type 0", got)
 	}
 }
@@ -235,7 +235,7 @@ func engineStat(t *testing.T, ts *httptest.Server, key string) float64 {
 // jobs are allocated through shared slots, so the snapshot reports effective
 // throughputs without solo X rows.
 func TestServerSpaceSharingPolicy(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(3, 3, 3), "spacesharing", online.Options{K: 2}, nil)
+	s, err := newServer(cluster.NewCluster(3, 3, 3), serverConfig{policy: "spacesharing", opts: online.Options{K: 2}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestServerSpaceSharingPolicy(t *testing.T) {
 // engine kind plus the price-engine counters (iterations, clearing residual,
 // warm-price rounds).
 func TestServerPricePolicy(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(4, 4, 4), "price", online.Options{}, nil)
+	s, err := newServer(cluster.NewCluster(4, 4, 4), serverConfig{policy: "price"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -561,7 +561,7 @@ func TestServerConcurrentLoad(t *testing.T) {
 // SIGINT/SIGTERM would) and require run to drain the in-flight round and
 // return cleanly, leaving the engine in a consistent post-round state.
 func TestServerGracefulShutdown(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(4, 4, 4), "maxmin", online.Options{K: 2}, nil)
+	s, err := newServer(cluster.NewCluster(4, 4, 4), serverConfig{policy: "maxmin", opts: online.Options{K: 2}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -624,7 +624,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 // TestServerShutdownWithoutTicker: run with round=0 (manual ticks only)
 // must also exit cleanly on cancellation.
 func TestServerShutdownWithoutTicker(t *testing.T) {
-	s, err := newServer(cluster.NewCluster(2, 2, 2), "makespan", online.Options{K: 1}, nil)
+	s, err := newServer(cluster.NewCluster(2, 2, 2), serverConfig{policy: "makespan", opts: online.Options{K: 1}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

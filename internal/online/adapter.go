@@ -96,6 +96,11 @@ type engine struct {
 	ad     Adapter
 	lpOpts lp.Options
 	subs   []*sub
+	// seeds holds per-partition basis snapshots installed by a state
+	// restore; each is consumed by that partition's next model build, so a
+	// restored engine's first round attempts warm starts instead of solving
+	// cold. A seed whose dimensions no longer fit is dropped by the solver.
+	seeds []*lp.Basis
 }
 
 func newEngine(ad Adapter, opts Options, lpOpts lp.Options) (*engine, error) {
@@ -234,6 +239,10 @@ func (e *engine) subSolveObs(po *obs.Observer, p int, ids []int) (subReport, err
 func (e *engine) rebuild(s *sub, p int, want []Block) {
 	s.model = e.ad.BuildModel(p, want)
 	s.blocks = slices.Clone(want)
+	if p < len(e.seeds) && e.seeds[p] != nil {
+		s.model.SetBasis(e.seeds[p])
+		e.seeds[p] = nil
+	}
 }
 
 // rebuildObs and spliceObs wrap the sync paths in their phase spans.

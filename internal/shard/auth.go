@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// Token is a shared-secret bearer token. Comparison hashes both sides before
+// the constant-time compare so tokens of different lengths take the same
+// time — the length itself never leaks through timing.
+type Token string
+
+// Authorize reports whether the request carries the token. An empty token
+// disables authentication (every request passes).
+func (t Token) Authorize(r *http.Request) bool {
+	if t == "" {
+		return true
+	}
+	h := r.Header.Get("Authorization")
+	presented, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok {
+		return false
+	}
+	want := sha256.Sum256([]byte(t))
+	got := sha256.Sum256([]byte(presented))
+	return subtle.ConstantTimeCompare(want[:], got[:]) == 1
+}
+
+// Set stamps the Authorization header onto an outgoing request (no-op for
+// an empty token).
+func (t Token) Set(r *http.Request) {
+	if t != "" {
+		r.Header.Set("Authorization", "Bearer "+string(t))
+	}
+}
+
+// Middleware wraps a handler with bearer-token authentication, answering
+// 401 with a JSON error on a missing or mismatched token.
+func (t Token) Middleware(next http.Handler) http.Handler {
+	if t == "" {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !t.Authorize(r) {
+			writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "missing or invalid bearer token"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,518 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"pop/internal/cluster"
+	"pop/internal/obs"
+)
+
+// CoordinatorOptions configure a sharded round coordinator.
+type CoordinatorOptions struct {
+	// Deadline bounds each round's scatter/gather, including any registry
+	// sync a worker needs first. A worker that misses it is a straggler:
+	// its clients are served last round's allocation, flagged stale, and
+	// its unacked mutation batch stays queued for the next round. 0 means
+	// 10s.
+	Deadline time.Duration
+	// Token authenticates coordinator→worker requests.
+	Token Token
+	// Obs receives round telemetry: a "shard.round" span with per-worker
+	// "shard.gather" lanes, straggler/rebuild counters, and gather-latency
+	// histograms.
+	Obs *obs.Observer
+	Log *slog.Logger
+	// Client overrides the HTTP client (tests inject httptest transports).
+	Client *http.Client
+}
+
+func (o CoordinatorOptions) deadline() time.Duration {
+	if o.Deadline <= 0 {
+		return 10 * time.Second
+	}
+	return o.Deadline
+}
+
+// allocRow is one client's slice of a worker's last gathered allocation.
+type allocRow struct {
+	x      []float64
+	effThr float64
+}
+
+// workerConn is the coordinator's view of one shard worker: its address,
+// the last round it acked, the allocation it last returned, and the
+// mutation batch queued for it. Batches clear only on ack — a straggling or
+// crashed worker's batch is re-sent (idempotently) until a round lands.
+type workerConn struct {
+	url      string
+	ackRound int
+	stale    bool
+	needSync bool
+	alloc    map[int]allocRow
+	numOwned int // registry clients hashed onto this worker
+	kind     string
+	stats    json.RawMessage
+	solveMs  float64
+	numJobs  int
+
+	stragglers int64
+	rebuilds   int64
+
+	pendUp map[int]cluster.Job
+	pendRm map[int]bool
+}
+
+// WorkerStatus is one worker's externally visible state (served by
+// popserver's /v1/stats in coordinator mode).
+type WorkerStatus struct {
+	URL        string          `json:"url"`
+	Round      int             `json:"round"`
+	Stale      bool            `json:"stale"`
+	Jobs       int             `json:"jobs"`
+	SolveMs    float64         `json:"solve_ms"`
+	Stragglers int64           `json:"stragglers"`
+	Rebuilds   int64           `json:"rebuilds"`
+	Kind       string          `json:"kind,omitempty"`
+	Stats      json.RawMessage `json:"stats,omitempty"`
+}
+
+// Coordinator fans scheduling rounds out over shard-worker processes. It
+// consistent-hashes clients onto workers, keeps the authoritative client
+// registry (the rebuild source for a crashed worker), and runs each round
+// as a deadline-bounded scatter/gather. It satisfies Engine, so popserver
+// drives it exactly like an in-process engine. Not safe for concurrent use
+// (popserver serializes rounds under its engine mutex).
+type Coordinator struct {
+	opts   CoordinatorOptions
+	log    *slog.Logger
+	client *http.Client
+	ring   *Ring
+
+	workers  []*workerConn
+	registry map[int]cluster.Job
+	round    int
+	c        cluster.Cluster
+	haveC    bool
+
+	lastStale []bool
+	staleJobs int
+}
+
+// NewCoordinator builds a coordinator over the given worker base URLs.
+func NewCoordinator(workerURLs []string, opts CoordinatorOptions) (*Coordinator, error) {
+	if len(workerURLs) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one worker URL")
+	}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.DiscardHandler)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	c := &Coordinator{
+		opts:     opts,
+		log:      opts.Log,
+		client:   client,
+		ring:     NewRing(len(workerURLs)),
+		workers:  make([]*workerConn, len(workerURLs)),
+		registry: make(map[int]cluster.Job),
+	}
+	for i, u := range workerURLs {
+		c.workers[i] = &workerConn{
+			url:    u,
+			alloc:  map[int]allocRow{},
+			pendUp: map[int]cluster.Job{},
+			pendRm: map[int]bool{},
+		}
+	}
+	return c, nil
+}
+
+// NumWorkers reports the shard count.
+func (c *Coordinator) NumWorkers() int { return len(c.workers) }
+
+// Round reports the last completed round.
+func (c *Coordinator) Round() int { return c.round }
+
+// Owner reports which worker a client id hashes to.
+func (c *Coordinator) Owner(id int) int { return c.ring.Owner(id) }
+
+// Upsert registers (or updates) a client and queues the mutation for its
+// shard's next round.
+func (c *Coordinator) Upsert(j cluster.Job) {
+	w := c.workers[c.ring.Owner(j.ID)]
+	if _, known := c.registry[j.ID]; !known {
+		w.numOwned++
+	}
+	c.registry[j.ID] = j
+	w.pendUp[j.ID] = j
+	delete(w.pendRm, j.ID)
+}
+
+// Remove drops a client from the registry and queues the removal.
+func (c *Coordinator) Remove(id int) bool {
+	if _, ok := c.registry[id]; !ok {
+		return false
+	}
+	delete(c.registry, id)
+	w := c.workers[c.ring.Owner(id)]
+	w.numOwned--
+	w.pendRm[id] = true
+	delete(w.pendUp, id)
+	return true
+}
+
+// Jobs returns the registered clients in ascending-ID order.
+func (c *Coordinator) Jobs() []cluster.Job {
+	out := make([]cluster.Job, 0, len(c.registry))
+	for _, j := range c.registry {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// NumJobs reports the registered client count.
+func (c *Coordinator) NumJobs() int { return len(c.registry) }
+
+// SetCluster installs a new resource pool; workers receive their 1/W slice
+// with the next round's scatter.
+func (c *Coordinator) SetCluster(pool cluster.Cluster) {
+	c.c = pool
+	c.haveC = true
+}
+
+// LastStale returns the per-client stale flags of the last Step, aligned
+// with its active slice: true when the client's worker missed the round
+// deadline (the row is last round's allocation) or has no row for it yet.
+func (c *Coordinator) LastStale() []bool { return c.lastStale }
+
+// StaleJobs reports how many clients the last Step served stale.
+func (c *Coordinator) StaleJobs() int { return c.staleJobs }
+
+// Status snapshots every worker's externally visible state.
+func (c *Coordinator) Status() []WorkerStatus {
+	out := make([]WorkerStatus, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = WorkerStatus{
+			URL:        w.url,
+			Round:      w.ackRound,
+			Stale:      w.stale,
+			Jobs:       w.numJobs,
+			SolveMs:    w.solveMs,
+			Stragglers: w.stragglers,
+			Rebuilds:   w.rebuilds,
+			Kind:       w.kind,
+			Stats:      w.stats,
+		}
+	}
+	return out
+}
+
+// gatherResult is one worker's outcome for a round.
+type gatherResult struct {
+	resp     *RoundResponse
+	err      error
+	rebuilds int64
+}
+
+// Step applies the diff between the registry and the active set, then runs
+// one scatter/gather round: each worker gets its shard's mutation batch and
+// 1/W of the pool, solves its partition on its own persistent engine, and
+// returns its allocation. Workers that miss the deadline (or fail) keep
+// serving last round's rows, flagged stale; a worker that reports being out
+// of sync is rebuilt from the registry first, inside the same deadline.
+func (c *Coordinator) Step(active []cluster.Job, pool cluster.Cluster) (*cluster.Allocation, error) {
+	c.SetCluster(pool)
+	seen := make(map[int]bool, len(active))
+	for _, j := range active {
+		seen[j.ID] = true
+		if old, ok := c.registry[j.ID]; !ok || !jobsEqual(old, j) {
+			c.Upsert(j)
+		}
+	}
+	for id := range c.registry {
+		if !seen[id] {
+			c.Remove(id)
+		}
+	}
+
+	c.round++
+	round := c.round
+	sub := pool.Split(len(c.workers))
+	o := c.opts.Obs
+	span := o.Span("shard.round").Arg("round", round).Arg("workers", len(c.workers))
+	start := time.Now()
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.deadline())
+	defer cancel()
+
+	baseTID := 0
+	if o != nil {
+		baseTID = o.TID
+	}
+	results := make([]gatherResult, len(c.workers))
+	var wg sync.WaitGroup
+	for i := range c.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wo := o.WithTID(baseTID + 1 + i)
+			sp := wo.Span("shard.gather").Arg("worker", i)
+			results[i] = c.gatherOne(ctx, i, round, sub)
+			sp.Arg("ok", results[i].err == nil).End()
+		}(i)
+	}
+	wg.Wait()
+
+	stragglers := 0
+	for i, w := range c.workers {
+		res := results[i]
+		w.rebuilds += res.rebuilds
+		if res.rebuilds > 0 {
+			o.Counter("pop_shard_rebuilds_total", "workers rebuilt from the client registry").Add(res.rebuilds)
+		}
+		if res.err != nil {
+			// Straggler or crash: keep last round's allocation, keep the
+			// unacked batch queued, and let the health of the next round
+			// decide whether a sync is needed (a crashed worker will 409).
+			w.stale = true
+			w.stragglers++
+			stragglers++
+			o.Counter("pop_shard_stragglers_total", "worker rounds lost to the deadline or errors").Inc()
+			c.log.Warn("shard straggler", "worker", i, "url", w.url, "round", round, "err", res.err)
+			continue
+		}
+		resp := res.resp
+		w.stale = false
+		w.ackRound = round
+		w.kind = resp.Kind
+		w.stats = resp.Stats
+		w.solveMs = resp.SolveMs
+		w.numJobs = resp.NumJobs
+		w.pendUp = map[int]cluster.Job{}
+		w.pendRm = map[int]bool{}
+		// A worker holding a different client count than the registry says
+		// it owns has zombie or missing clients (e.g. the coordinator
+		// restarted with a cold registry); reconcile it next round.
+		w.needSync = resp.NumJobs != w.numOwned
+		width := 0
+		if len(resp.IDs) > 0 && len(resp.X) > 0 {
+			width = len(resp.X) / len(resp.IDs)
+		}
+		alloc := make(map[int]allocRow, len(resp.IDs))
+		for k, id := range resp.IDs {
+			row := allocRow{effThr: resp.EffThr[k]}
+			if width > 0 {
+				row.x = resp.X[k*width : (k+1)*width]
+			}
+			alloc[id] = row
+		}
+		w.alloc = alloc
+		o.Histogram(`pop_shard_worker_seconds{worker="`+strconv.Itoa(i)+`"}`,
+			"per-worker round latency as observed by the coordinator").Observe(resp.SolveMs / 1000)
+	}
+
+	out, stale, staleJobs := c.merge(active)
+	c.lastStale, c.staleJobs = stale, staleJobs
+	dur := time.Since(start)
+	o.Counter("pop_shard_rounds_total", "completed scatter/gather rounds").Inc()
+	o.Histogram("pop_shard_gather_seconds", "scatter/gather round wall time").Observe(dur.Seconds())
+	o.Gauge("pop_shard_stale_jobs", "clients served a stale allocation in the last round").Set(float64(staleJobs))
+	o.Gauge("pop_shard_stale_workers", "workers stale after the last round").Set(float64(stragglers))
+	span.Arg("stragglers", stragglers).Arg("stale_jobs", staleJobs).End()
+	c.log.Info("shard round", "round", round, "jobs", len(active),
+		"stragglers", stragglers, "stale_jobs", staleJobs,
+		"gather_ms", float64(dur.Microseconds())/1000)
+	return out, nil
+}
+
+// gatherOne runs one worker's slice of the round: an optional registry sync
+// (when flagged, or on a 409), then the round request.
+func (c *Coordinator) gatherOne(ctx context.Context, i, round int, sub cluster.Cluster) gatherResult {
+	w := c.workers[i]
+	var rebuilds int64
+	if w.needSync {
+		if err := c.syncWorker(ctx, i, round-1, sub); err != nil {
+			return gatherResult{err: fmt.Errorf("sync: %w", err), rebuilds: rebuilds}
+		}
+		rebuilds++
+	}
+	req := c.buildRound(i, round, sub)
+	var resp RoundResponse
+	status, err := c.post(ctx, w.url+PathRound, req, &resp)
+	if status == http.StatusConflict {
+		// The worker is behind (fresh process, lost state): rebuild it from
+		// the registry, then retry the round inside the same deadline.
+		if err := c.syncWorker(ctx, i, round-1, sub); err != nil {
+			return gatherResult{err: fmt.Errorf("sync after conflict: %w", err), rebuilds: rebuilds}
+		}
+		rebuilds++
+		req.PrevRound = round - 1
+		resp = RoundResponse{}
+		status, err = c.post(ctx, w.url+PathRound, req, &resp)
+	}
+	if err != nil {
+		return gatherResult{err: err, rebuilds: rebuilds}
+	}
+	if status != http.StatusOK {
+		return gatherResult{err: fmt.Errorf("round status %d", status), rebuilds: rebuilds}
+	}
+	return gatherResult{resp: &resp, rebuilds: rebuilds}
+}
+
+// buildRound assembles worker i's scatter payload: the queued batch in
+// deterministic (ascending-id) order — the order the single-process engine
+// equivalence relies on — and the shard's capacity slice.
+func (c *Coordinator) buildRound(i, round int, sub cluster.Cluster) *RoundRequest {
+	w := c.workers[i]
+	req := &RoundRequest{
+		Round:     round,
+		PrevRound: w.ackRound,
+		TypeNames: sub.TypeNames,
+		GPUs:      sub.NumGPUs,
+	}
+	if len(w.pendUp) > 0 {
+		ids := make([]int, 0, len(w.pendUp))
+		for id := range w.pendUp {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		req.Upserts = make([]JobSpec, len(ids))
+		for k, id := range ids {
+			req.Upserts[k] = SpecOf(w.pendUp[id])
+		}
+	}
+	if len(w.pendRm) > 0 {
+		req.Removes = make([]int, 0, len(w.pendRm))
+		for id := range w.pendRm {
+			req.Removes = append(req.Removes, id)
+		}
+		sort.Ints(req.Removes)
+	}
+	return req
+}
+
+// syncWorker rebuilds worker i from the authoritative registry: the full
+// client set of its shard, as of baseRound (this round's mutations are
+// already folded into the registry; the retried round request re-applies
+// them idempotently).
+func (c *Coordinator) syncWorker(ctx context.Context, i, baseRound int, sub cluster.Cluster) error {
+	w := c.workers[i]
+	ids := make([]int, 0, w.numOwned)
+	for id := range c.registry {
+		if c.ring.Owner(id) == i {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	req := &SyncRequest{Round: baseRound, TypeNames: sub.TypeNames, GPUs: sub.NumGPUs}
+	req.Jobs = make([]JobSpec, len(ids))
+	for k, id := range ids {
+		req.Jobs[k] = SpecOf(c.registry[id])
+	}
+	var resp SyncResponse
+	status, err := c.post(ctx, w.url+PathSync, req, &resp)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("sync status %d", status)
+	}
+	w.needSync = false
+	c.log.Info("shard rebuild", "worker", i, "url", w.url, "base_round", baseRound,
+		"jobs", len(req.Jobs), "kept_warm", resp.Kept)
+	return nil
+}
+
+// merge composes the per-worker allocations onto the active order — POP's
+// reduce step across processes. Clients of stale workers get their last
+// gathered row (or a zero row if the worker never allocated them), flagged.
+func (c *Coordinator) merge(active []cluster.Job) (*cluster.Allocation, []bool, int) {
+	r := c.c.NumTypes()
+	out := &cluster.Allocation{
+		X:      make([][]float64, len(active)),
+		EffThr: make([]float64, len(active)),
+	}
+	stale := make([]bool, len(active))
+	staleJobs, haveX := 0, false
+	for pos, j := range active {
+		w := c.workers[c.ring.Owner(j.ID)]
+		row, ok := w.alloc[j.ID]
+		if ok && row.x != nil {
+			haveX = true
+			out.X[pos] = append([]float64(nil), row.x...)
+		} else {
+			out.X[pos] = make([]float64, r)
+		}
+		if ok {
+			out.EffThr[pos] = row.effThr
+		}
+		if w.stale || !ok {
+			stale[pos] = true
+			staleJobs++
+		}
+	}
+	if !haveX {
+		out.X = nil
+	}
+	return out, stale, staleJobs
+}
+
+// post sends one JSON request and decodes the JSON answer, returning the
+// HTTP status (0 on transport errors). Error bodies decode into err.
+func (c *Coordinator) post(ctx context.Context, url string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.opts.Token.Set(req)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s: %s", url, e.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, fmt.Errorf("%s: bad response: %w", url, err)
+	}
+	return resp.StatusCode, nil
+}
+
+// jobsEqual mirrors online.ClusterEngine's unchanged-resubmission check so
+// the coordinator's no-op detection matches the engines'.
+func jobsEqual(a, b cluster.Job) bool {
+	if a.Weight != b.Weight || a.Scale != b.Scale || a.NumSteps != b.NumSteps ||
+		a.Priority != b.Priority || a.MemFrac != b.MemFrac || len(a.Throughput) != len(b.Throughput) {
+		return false
+	}
+	for i := range a.Throughput {
+		if a.Throughput[i] != b.Throughput[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pop/internal/cluster"
+	"pop/internal/obs"
+)
+
+// WorkerOptions configure a shard worker.
+type WorkerOptions struct {
+	// Token authenticates coordinator requests (empty disables auth).
+	Token Token
+	// StateFile, when non-empty, persists the engine's warm state after
+	// every round (asynchronously, last-writer-wins) and restores it at
+	// construction, so a restarted worker re-warms instead of cold-starting
+	// and usually rejoins without a registry sync at all.
+	StateFile string
+	// Obs receives worker telemetry; its registry backs GET /metrics.
+	Obs *obs.Observer
+	Log *slog.Logger
+}
+
+// Worker owns one shard's persistent engine across rounds and serves the
+// coordinator protocol: rounds apply the shard's mutation batch and re-solve
+// (models, bases, and prices stay warm in-process between rounds), syncs
+// reconcile the engine against the coordinator's authoritative registry.
+type Worker struct {
+	b    *EngineBundle
+	opts WorkerOptions
+	log  *slog.Logger
+
+	// mu serializes rounds and syncs — the engine is single-threaded state.
+	mu        sync.Mutex
+	lastRound int
+
+	saving atomic.Bool
+}
+
+// NewWorker wraps an engine bundle in the shard protocol. If a state file
+// is configured and present, the engine is restored from it (a corrupt or
+// mismatched file is logged and ignored — the worker starts fresh and the
+// coordinator syncs it).
+func NewWorker(b *EngineBundle, opts WorkerOptions) *Worker {
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.DiscardHandler)
+	}
+	w := &Worker{b: b, opts: opts, log: opts.Log}
+	if opts.StateFile != "" {
+		w.restoreState()
+	}
+	return w
+}
+
+// LastRound reports the last round the worker applied.
+func (w *Worker) LastRound() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastRound
+}
+
+// Handler returns the worker's HTTP surface. Round and sync mutate engine
+// state and sit behind the bearer token; health and metrics are read-only
+// probes and stay open.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST "+PathRound, w.opts.Token.Middleware(http.HandlerFunc(w.handleRound)))
+	mux.Handle("POST "+PathSync, w.opts.Token.Middleware(http.HandlerFunc(w.handleSync)))
+	mux.HandleFunc("GET "+PathHealth, w.handleHealth)
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		if w.opts.Obs == nil || w.opts.Obs.Metrics == nil {
+			http.Error(rw, "no metrics registry", http.StatusNotFound)
+			return
+		}
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.opts.Obs.Metrics.WritePrometheus(rw)
+	})
+	return mux
+}
+
+func (w *Worker) handleRound(rw http.ResponseWriter, r *http.Request) {
+	var req RoundRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad round request: %v", err)})
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Behind the coordinator: a mutation batch passed us by (crash, lost
+	// state). 409 tells the coordinator to sync us from the registry.
+	// Ahead (the coordinator wrote a previous round of ours off as
+	// straggling after we finished it) is fine: unacked batches are
+	// re-queued and idempotent, so applying this one is safe.
+	if req.PrevRound > w.lastRound {
+		w.obsCounter("pop_shard_worker_out_of_sync_total", "rounds rejected pending a registry sync").Inc()
+		writeJSON(rw, http.StatusConflict, errorResponse{Error: "out of sync", LastRound: w.lastRound})
+		return
+	}
+	start := time.Now()
+	for _, s := range req.Upserts {
+		w.b.Engine.Upsert(s.Job())
+	}
+	for _, id := range req.Removes {
+		w.b.Engine.Remove(id)
+	}
+	c := cluster.Cluster{TypeNames: req.TypeNames, NumGPUs: req.GPUs}
+	jobs := w.b.Engine.Jobs()
+	resp := RoundResponse{
+		Round:   req.Round,
+		NumJobs: len(jobs),
+		Kind:    w.b.Kind,
+		IDs:     make([]int, len(jobs)),
+		EffThr:  make([]float64, len(jobs)),
+	}
+	if len(jobs) > 0 {
+		alloc, err := w.b.Engine.Step(jobs, c)
+		if err != nil {
+			writeJSON(rw, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("round %d failed: %v", req.Round, err)})
+			return
+		}
+		width := 0
+		if alloc.X != nil && len(alloc.X) == len(jobs) {
+			for _, row := range alloc.X {
+				if len(row) > width {
+					width = len(row)
+				}
+			}
+			resp.X = make([]float64, 0, len(jobs)*width)
+		}
+		for i, j := range jobs {
+			resp.IDs[i] = j.ID
+			resp.EffThr[i] = alloc.EffThr[i]
+			if resp.X != nil {
+				row := alloc.X[i]
+				resp.X = append(resp.X, row...)
+				for pad := len(row); pad < width; pad++ {
+					resp.X = append(resp.X, 0)
+				}
+			}
+		}
+	}
+	w.lastRound = req.Round
+	resp.SolveMs = float64(time.Since(start).Microseconds()) / 1000
+	if stats, err := json.Marshal(w.b.Stats()); err == nil {
+		resp.Stats = stats
+	}
+	w.obsCounter("pop_shard_worker_rounds_total", "rounds this worker applied").Inc()
+	if o := w.opts.Obs; o != nil {
+		o.Histogram("pop_shard_worker_round_seconds", "per-round apply+solve wall time").
+			Observe(time.Since(start).Seconds())
+	}
+	w.log.Debug("shard round", "round", req.Round, "jobs", len(jobs),
+		"upserts", len(req.Upserts), "removes", len(req.Removes), "solve_ms", resp.SolveMs)
+	w.saveStateAsync()
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// handleSync reconciles the engine against the coordinator's registry:
+// upsert everything listed, remove everything else. Unchanged jobs no-op in
+// the engines, so whatever warm state survived (a state-file restore, or a
+// straggle the coordinator mistook for a crash) is kept.
+func (w *Worker) handleSync(rw http.ResponseWriter, r *http.Request) {
+	var req SyncRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad sync request: %v", err)})
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	held := make(map[int]bool)
+	for _, j := range w.b.Engine.Jobs() {
+		held[j.ID] = true
+	}
+	resp := SyncResponse{Round: req.Round}
+	for _, s := range req.Jobs {
+		if held[s.ID] {
+			resp.Kept++
+			delete(held, s.ID)
+		} else {
+			resp.Added++
+		}
+		w.b.Engine.Upsert(s.Job())
+	}
+	for id := range held {
+		w.b.Engine.Remove(id)
+		resp.Removed++
+	}
+	w.lastRound = req.Round
+	w.obsCounter("pop_shard_worker_syncs_total", "registry reconciles applied").Inc()
+	w.log.Info("shard sync", "round", req.Round,
+		"kept", resp.Kept, "added", resp.Added, "removed", resp.Removed)
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, _ *http.Request) {
+	w.mu.Lock()
+	resp := HealthResponse{OK: true, LastRound: w.lastRound, NumJobs: len(w.b.Engine.Jobs()), Kind: w.b.Kind}
+	w.mu.Unlock()
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// workerState is the on-disk shape of a worker's -state-file.
+type workerState struct {
+	LastRound int             `json:"last_round"`
+	Engine    json.RawMessage `json:"engine"`
+}
+
+// SaveState synchronously persists the engine snapshot (graceful shutdown).
+func (w *Worker) SaveState() error {
+	if w.opts.StateFile == "" {
+		return nil
+	}
+	w.mu.Lock()
+	st, err := w.snapshotLocked()
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(w.opts.StateFile, st)
+}
+
+func (w *Worker) snapshotLocked() ([]byte, error) {
+	eng, err := w.b.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(workerState{LastRound: w.lastRound, Engine: eng})
+}
+
+// saveStateAsync snapshots under the held lock (cheap struct copies) and
+// writes in the background, skipping when a write is already in flight —
+// a best-effort checkpoint, with SaveState as the synchronous barrier.
+func (w *Worker) saveStateAsync() {
+	if w.opts.StateFile == "" || !w.saving.CompareAndSwap(false, true) {
+		return
+	}
+	st, err := w.snapshotLocked()
+	if err != nil {
+		w.saving.Store(false)
+		w.log.Warn("state snapshot failed", "err", err)
+		return
+	}
+	go func() {
+		defer w.saving.Store(false)
+		if err := writeFileAtomic(w.opts.StateFile, st); err != nil {
+			w.log.Warn("state save failed", "err", err)
+		}
+	}()
+}
+
+func (w *Worker) restoreState() {
+	raw, err := os.ReadFile(w.opts.StateFile)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			w.log.Warn("state file unreadable; starting fresh", "file", w.opts.StateFile, "err", err)
+		}
+		return
+	}
+	var st workerState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		w.log.Warn("state file corrupt; starting fresh", "file", w.opts.StateFile, "err", err)
+		return
+	}
+	if err := w.b.Restore(st.Engine); err != nil {
+		w.log.Warn("state restore rejected; starting fresh", "file", w.opts.StateFile, "err", err)
+		return
+	}
+	w.lastRound = st.LastRound
+	w.log.Info("state restored", "file", w.opts.StateFile,
+		"round", st.LastRound, "jobs", len(w.b.Engine.Jobs()))
+}
+
+func (w *Worker) obsCounter(name, help string) *obs.Counter {
+	return w.opts.Obs.Counter(name, help)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".state-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
